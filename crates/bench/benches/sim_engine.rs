@@ -1,0 +1,42 @@
+//! Simulator engine throughput: event processing with a fixed mapping
+//! (no scheduler cost), with and without the communication machinery.
+
+use anneal_sim::{simulate, FixedMapping, SimConfig};
+use anneal_topology::builders::{hypercube, ring};
+use anneal_topology::{CommParams, ProcId};
+use anneal_workloads::{mm_paper, ne_paper};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    for (name, g, host) in [
+        ("ne_hypercube", ne_paper(), hypercube(3)),
+        ("mm_ring", mm_paper(), ring(9)),
+    ] {
+        let np = host.num_procs();
+        let mapping: Vec<ProcId> = (0..g.num_tasks())
+            .map(|i| ProcId::from_index(i % np))
+            .collect();
+        group.bench_function(BenchmarkId::new("with_comm", name), |b| {
+            b.iter(|| {
+                let mut s = FixedMapping::new(mapping.clone());
+                simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default())
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("no_comm", name), |b| {
+            let cfg = SimConfig {
+                comm_enabled: false,
+                ..SimConfig::default()
+            };
+            b.iter(|| {
+                let mut s = FixedMapping::new(mapping.clone());
+                simulate(&g, &host, &CommParams::zero(), &mut s, &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

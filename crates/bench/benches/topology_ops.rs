@@ -1,0 +1,39 @@
+//! Topology substrate: distance/route table construction and the eq. 4
+//! cost estimate.
+
+use anneal_topology::builders::{hypercube, ring, torus};
+use anneal_topology::{CommParams, DistanceMatrix, RouteTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_ops");
+    let hosts = [
+        ("hypercube_8", hypercube(3)),
+        ("hypercube_64", hypercube(6)),
+        ("ring_64", ring(64)),
+        ("torus_8x8", torus(8, 8)),
+    ];
+    for (name, t) in &hosts {
+        group.bench_with_input(BenchmarkId::new("distances", name), t, |b, t| {
+            b.iter(|| black_box(DistanceMatrix::build(t).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("routes", name), t, |b, t| {
+            b.iter(|| black_box(RouteTable::build(t).unwrap()))
+        });
+    }
+    group.bench_function("eq4_cost_x1000", |b| {
+        let p = CommParams::paper();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for w in 0..1000u64 {
+                acc = acc.wrapping_add(p.eq4_cost(w * 13, (w % 5) as u32 + 1, false));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Reproduces the **§6a annealing-process statistics**: the paper
+//! reports that the Newton-Euler program's 95 tasks "are assigned in 65
+//! annealing packets. On the average there are 15 candidates for 1.46
+//! free processors."
+
+use anneal_core::{SaConfig, SaScheduler};
+use anneal_report::{csv::f, Table};
+use anneal_sim::{simulate, SimConfig};
+use anneal_topology::builders::paper_architectures;
+use anneal_topology::CommParams;
+use anneal_workloads::paper_workloads;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Program",
+        "Architecture",
+        "Tasks",
+        "Packets",
+        "Avg candidates",
+        "Avg idle procs",
+        "Temp steps/packet",
+        "Accept rate",
+    ])
+    .with_title("Annealing-process statistics (paper, NE: 95 tasks, 65 packets, 15 cand / 1.46 idle)");
+
+    for (name, g) in paper_workloads() {
+        for topo in paper_architectures() {
+            let mut sa = SaScheduler::new(SaConfig::default());
+            simulate(&g, &topo, &CommParams::paper(), &mut sa, &SimConfig::default())
+                .expect("simulation");
+            let st = &sa.stats;
+            table.row(vec![
+                name.to_string(),
+                topo.name().to_string(),
+                g.num_tasks().to_string(),
+                st.packets.to_string(),
+                f(st.avg_candidates(), 2),
+                f(st.avg_idle(), 2),
+                f(st.iterations as f64 / st.packets as f64, 1),
+                f(st.acceptance_rate(), 2),
+            ]);
+        }
+        table.separator();
+    }
+    print!("{}", table.render());
+}

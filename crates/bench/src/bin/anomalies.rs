@@ -1,0 +1,60 @@
+//! Reproduces the **§6b claim**: "the SA algorithm is able to optimally
+//! solve the Graham list scheduling anomalies."
+//!
+//! For each Graham (1969) anomaly scenario, compares the classic FIFO
+//! list schedule, HLF, SA (no communication) and the exact
+//! branch-and-bound optimum.
+
+use anneal_core::anomaly::{anomaly_scenarios, UNIT};
+use anneal_core::list::{ListScheduler, PriorityPolicy};
+use anneal_core::optimal::optimal_makespan;
+use anneal_core::{HlfScheduler, SaConfig, SaScheduler};
+use anneal_report::Table;
+use anneal_sim::{simulate, SimConfig};
+use anneal_topology::builders::bus;
+use anneal_topology::CommParams;
+
+fn main() {
+    let cfg = SimConfig {
+        comm_enabled: false,
+        ..SimConfig::default()
+    };
+    let mut table = Table::new(vec![
+        "Scenario", "List (FIFO)", "HLF", "SA", "Optimal", "SA optimal?",
+    ])
+    .with_title("Graham anomalies: makespans in Graham units (list L = T1..T9)");
+
+    for (name, g, procs) in anomaly_scenarios() {
+        let topo = bus(procs);
+        let mut fifo = ListScheduler::new(PriorityPolicy::Fifo);
+        let m_fifo = simulate(&g, &topo, &CommParams::zero(), &mut fifo, &cfg)
+            .unwrap()
+            .makespan;
+        let mut hlf = HlfScheduler::new();
+        let m_hlf = simulate(&g, &topo, &CommParams::zero(), &mut hlf, &cfg)
+            .unwrap()
+            .makespan;
+        let mut sa = SaScheduler::new(SaConfig::default());
+        let m_sa = simulate(&g, &topo, &CommParams::zero(), &mut sa, &cfg)
+            .unwrap()
+            .makespan;
+        let opt = optimal_makespan(&g, procs, 50_000_000);
+        table.row(vec![
+            name.to_string(),
+            (m_fifo / UNIT).to_string(),
+            (m_hlf / UNIT).to_string(),
+            (m_sa / UNIT).to_string(),
+            format!(
+                "{}{}",
+                opt.value() / UNIT,
+                if opt.is_exact() { "" } else { " (bound)" }
+            ),
+            if m_sa == opt.value() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nThe anomalies: the FIFO list schedule *degrades* with more processors,\n\
+         shorter tasks or fewer precedence constraints, while SA stays optimal."
+    );
+}

@@ -1,0 +1,60 @@
+//! Reproduces **Table 1** — "Principal program characteristics".
+//!
+//! Prints the measured statistics of the four reconstructed workloads
+//! next to the paper's values and writes `results/table1.csv`.
+
+use anneal_bench::results_dir;
+use anneal_report::{csv::f, Csv, Table};
+use anneal_workloads::stats::{paper_table1, Table1Row};
+use anneal_workloads::paper_workloads;
+
+fn main() {
+    let refs = paper_table1();
+    let mut table = Table::new(vec![
+        "Program", "Tasks", "Avg dur (us)", "Avg comm (us)", "C/C %", "Max speedup", "src",
+    ])
+    .with_title("Table 1: principal program characteristics (measured vs paper)");
+    let mut csv = Csv::new();
+    csv.row(&[
+        "program", "source", "tasks", "avg_duration_us", "avg_comm_us", "cc_pct", "max_speedup",
+    ]);
+
+    for ((name, g), r) in paper_workloads().iter().zip(&refs) {
+        let m = Table1Row::measure(*name, g);
+        table.row(vec![
+            name.to_string(),
+            m.tasks.to_string(),
+            f(m.avg_duration_us, 2),
+            f(m.avg_comm_us, 2),
+            f(m.cc_ratio * 100.0, 1),
+            f(m.max_speedup, 2),
+            "measured".into(),
+        ]);
+        table.row(vec![
+            String::new(),
+            r.tasks.to_string(),
+            f(r.avg_duration_us, 2),
+            f(r.avg_comm_us, 2),
+            f(r.cc_ratio * 100.0, 1),
+            f(r.max_speedup, 2),
+            "paper".into(),
+        ]);
+        table.separator();
+        for (src, row) in [("measured", &m), ("paper", r)] {
+            csv.row(&[
+                name.to_string(),
+                src.to_string(),
+                row.tasks.to_string(),
+                f(row.avg_duration_us, 3),
+                f(row.avg_comm_us, 3),
+                f(row.cc_ratio * 100.0, 2),
+                f(row.max_speedup, 3),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+
+    let path = results_dir().join("table1.csv");
+    csv.write_to(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,142 @@
+//! Acceptance rules (paper eq. 1 and 2).
+//!
+//! The paper uses the *heat-bath* (Glauber) form
+//!
+//! ```text
+//! B(ΔF, Temp) = 1 / (1 + e^{ΔF/Temp})
+//! ```
+//!
+//! with the limits `B(·, ∞) = 0.5` and `B(ΔF, 0) = 1 if ΔF < 0 else 0`
+//! (eq. 2). The classic Metropolis rule `min(1, e^{−ΔF/T})` is provided
+//! for ablations.
+
+use rand::Rng;
+
+/// Which acceptance probability to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptanceRule {
+    /// The paper's heat-bath form, eq. 1.
+    HeatBath,
+    /// Metropolis: always accept improvements, else `e^{−ΔF/T}`.
+    Metropolis,
+}
+
+/// Temperatures below this are treated as zero (deterministic limit).
+pub const TEMP_EPSILON: f64 = 1e-12;
+
+/// The acceptance probability for a cost change `delta` at temperature
+/// `temp`.
+pub fn acceptance_probability(rule: AcceptanceRule, delta: f64, temp: f64) -> f64 {
+    if temp <= TEMP_EPSILON {
+        // Eq. 2: deterministic descent.
+        return if delta < 0.0 { 1.0 } else { 0.0 };
+    }
+    match rule {
+        AcceptanceRule::HeatBath => {
+            let x = delta / temp;
+            // Guard exp overflow: for large |x| the sigmoid saturates.
+            if x > 700.0 {
+                0.0
+            } else if x < -700.0 {
+                1.0
+            } else {
+                1.0 / (1.0 + x.exp())
+            }
+        }
+        AcceptanceRule::Metropolis => {
+            if delta <= 0.0 {
+                1.0
+            } else {
+                (-delta / temp).exp()
+            }
+        }
+    }
+}
+
+/// Samples the accept/reject decision.
+pub fn accept<R: Rng + ?Sized>(rule: AcceptanceRule, delta: f64, temp: f64, rng: &mut R) -> bool {
+    let p = acceptance_probability(rule, delta, temp);
+    if p >= 1.0 {
+        true
+    } else if p <= 0.0 {
+        false
+    } else {
+        rng.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn heat_bath_limits() {
+        // B(F, inf) = 0.5
+        let p = acceptance_probability(AcceptanceRule::HeatBath, 1.0, 1e18);
+        assert!((p - 0.5).abs() < 1e-6);
+        // B(F, 0): 1 if F < 0, 0 otherwise
+        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, -0.1, 0.0), 1.0);
+        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, 0.1, 0.0), 0.0);
+        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn heat_bath_midpoint_and_symmetry() {
+        // B(0, T) = 0.5 for any T > 0.
+        assert!((acceptance_probability(AcceptanceRule::HeatBath, 0.0, 1.0) - 0.5).abs() < 1e-12);
+        // B(-d, T) + B(d, T) = 1 (sigmoid symmetry).
+        for d in [0.1, 0.5, 2.0] {
+            let a = acceptance_probability(AcceptanceRule::HeatBath, d, 0.7);
+            let b = acceptance_probability(AcceptanceRule::HeatBath, -d, 0.7);
+            assert!((a + b - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heat_bath_monotone_in_delta() {
+        let mut last = 1.0;
+        for i in 0..20 {
+            let d = -2.0 + 0.2 * i as f64;
+            let p = acceptance_probability(AcceptanceRule::HeatBath, d, 1.0);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn heat_bath_no_overflow() {
+        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, 1e9, 1.0), 0.0);
+        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, -1e9, 1.0), 1.0);
+    }
+
+    #[test]
+    fn metropolis_always_accepts_improvement() {
+        assert_eq!(acceptance_probability(AcceptanceRule::Metropolis, -5.0, 0.3), 1.0);
+        assert_eq!(acceptance_probability(AcceptanceRule::Metropolis, 0.0, 0.3), 1.0);
+        let p = acceptance_probability(AcceptanceRule::Metropolis, 1.0, 1.0);
+        assert!((p - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(accept(AcceptanceRule::HeatBath, -1.0, 0.0, &mut rng));
+            assert!(!accept(AcceptanceRule::HeatBath, 1.0, 0.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn sampling_rate_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| accept(AcceptanceRule::HeatBath, 0.5, 1.0, &mut rng))
+            .count();
+        let expect = acceptance_probability(AcceptanceRule::HeatBath, 0.5, 1.0);
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - expect).abs() < 0.02, "rate {rate} vs {expect}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Cooling schedules.
+//!
+//! The paper specifies only that the cooling function generates a
+//! decreasing temperature sequence from ∞-like (random acceptance)
+//! toward 0 (deterministic descent), and that "the cooling policy
+//! influences the convergence speed and the quality of the obtained
+//! solution". Geometric cooling is the default; the others exist for the
+//! cooling-policy ablation.
+
+/// A deterministic temperature sequence `Temp_k`, `k = 0, 1, …`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingSchedule {
+    /// `T_k = t0 · α^k` (0 < α < 1). The workhorse.
+    Geometric {
+        /// Initial temperature.
+        t0: f64,
+        /// Decay per iteration.
+        alpha: f64,
+    },
+    /// `T_k = max(0, t0 − k·step)`: linear descent reaching zero.
+    Linear {
+        /// Initial temperature.
+        t0: f64,
+        /// Decrement per iteration.
+        step: f64,
+    },
+    /// `T_k = t0 / ln(k + e)`: the classical logarithmic schedule
+    /// (asymptotically convergent, very slow).
+    Logarithmic {
+        /// Numerator constant.
+        t0: f64,
+    },
+    /// Constant temperature (testing / infinite-temperature studies).
+    Constant {
+        /// The fixed temperature.
+        temp: f64,
+    },
+}
+
+impl CoolingSchedule {
+    /// The paper-default schedule used by `SaConfig::default`:
+    /// geometric from 1.0 with α = 0.95 (costs are normalized to
+    /// order-1 by eq. 6, so `t0 = 1` starts near-random).
+    pub fn default_geometric() -> Self {
+        CoolingSchedule::Geometric { t0: 1.0, alpha: 0.95 }
+    }
+
+    /// Temperature at iteration `k`.
+    pub fn temperature(&self, k: u64) -> f64 {
+        match *self {
+            CoolingSchedule::Geometric { t0, alpha } => {
+                debug_assert!((0.0..1.0).contains(&alpha));
+                t0 * alpha.powi(k.min(i32::MAX as u64) as i32)
+            }
+            CoolingSchedule::Linear { t0, step } => (t0 - step * k as f64).max(0.0),
+            CoolingSchedule::Logarithmic { t0 } => t0 / (k as f64 + std::f64::consts::E).ln(),
+            CoolingSchedule::Constant { temp } => temp,
+        }
+    }
+
+    /// A human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoolingSchedule::Geometric { .. } => "geometric",
+            CoolingSchedule::Linear { .. } => "linear",
+            CoolingSchedule::Logarithmic { .. } => "logarithmic",
+            CoolingSchedule::Constant { .. } => "constant",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decays() {
+        let c = CoolingSchedule::Geometric { t0: 2.0, alpha: 0.5 };
+        assert_eq!(c.temperature(0), 2.0);
+        assert_eq!(c.temperature(1), 1.0);
+        assert_eq!(c.temperature(3), 0.25);
+    }
+
+    #[test]
+    fn linear_hits_zero_and_stays() {
+        let c = CoolingSchedule::Linear { t0: 1.0, step: 0.4 };
+        assert_eq!(c.temperature(0), 1.0);
+        assert!((c.temperature(2) - 0.2).abs() < 1e-12);
+        assert_eq!(c.temperature(3), 0.0);
+        assert_eq!(c.temperature(1000), 0.0);
+    }
+
+    #[test]
+    fn logarithmic_decreases_slowly() {
+        let c = CoolingSchedule::Logarithmic { t0: 1.0 };
+        assert!((c.temperature(0) - 1.0).abs() < 1e-12); // ln(e) = 1
+        assert!(c.temperature(10) > c.temperature(100));
+        assert!(c.temperature(100) > 0.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let c = CoolingSchedule::Constant { temp: 0.7 };
+        assert_eq!(c.temperature(0), 0.7);
+        assert_eq!(c.temperature(9999), 0.7);
+    }
+
+    #[test]
+    fn all_schedules_monotone_nonincreasing() {
+        for c in [
+            CoolingSchedule::default_geometric(),
+            CoolingSchedule::Linear { t0: 1.0, step: 0.01 },
+            CoolingSchedule::Logarithmic { t0: 1.0 },
+            CoolingSchedule::Constant { temp: 0.5 },
+        ] {
+            let mut last = f64::INFINITY;
+            for k in 0..200 {
+                let t = c.temperature(k);
+                assert!(t <= last + 1e-15, "{c:?} increased at k={k}");
+                assert!(t >= 0.0);
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CoolingSchedule::default_geometric().name(), "geometric");
+        assert_eq!(CoolingSchedule::Constant { temp: 1.0 }.name(), "constant");
+    }
+}

@@ -1,0 +1,162 @@
+//! The Highest Level First baseline (paper §1, §6).
+//!
+//! "A solution is approximated by suboptimal heuristics such as the well
+//! known Highest Level First (HLF) list algorithm" — the paper's
+//! comparison baseline. At each epoch the ready tasks are ranked by task
+//! level `n_i` and placed on free processors; the placement itself is
+//! "arbitrary", which this implementation makes concrete as either the
+//! lowest-numbered idle processor (deterministic) or a seeded random
+//! idle processor (for the statistical experiments).
+
+use anneal_graph::levels::bottom_levels;
+use anneal_graph::{TaskId, Work};
+use anneal_sim::{EpochContext, OnlineScheduler};
+use anneal_topology::ProcId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How HLF picks among idle processors (the paper calls it "arbitrary").
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// Lowest-numbered idle processor first (deterministic).
+    FirstIdle,
+    /// Uniformly random idle processor, reproducible from the seed.
+    Random(u64),
+}
+
+/// Highest Level First list scheduler.
+#[derive(Debug)]
+pub struct HlfScheduler {
+    levels: Option<Vec<Work>>,
+    placement: Placement,
+    rng: Option<StdRng>,
+}
+
+impl HlfScheduler {
+    /// Deterministic HLF (first-idle placement).
+    pub fn new() -> Self {
+        HlfScheduler {
+            levels: None,
+            placement: Placement::FirstIdle,
+            rng: None,
+        }
+    }
+
+    /// HLF with a specific placement rule.
+    pub fn with_placement(placement: Placement) -> Self {
+        let rng = match &placement {
+            Placement::Random(seed) => Some(StdRng::seed_from_u64(*seed)),
+            Placement::FirstIdle => None,
+        };
+        HlfScheduler {
+            levels: None,
+            placement,
+            rng,
+        }
+    }
+}
+
+impl Default for HlfScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineScheduler for HlfScheduler {
+    fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
+        let levels = self
+            .levels
+            .get_or_insert_with(|| bottom_levels(ctx.graph));
+        let mut ranked: Vec<TaskId> = ctx.ready.to_vec();
+        ranked.sort_by_key(|&t| (std::cmp::Reverse(levels[t.index()]), t));
+        let mut procs: Vec<ProcId> = ctx.idle.to_vec();
+        if let (Placement::Random(_), Some(rng)) = (&self.placement, self.rng.as_mut()) {
+            procs.shuffle(rng);
+        }
+        for (&t, &p) in ranked.iter().zip(procs.iter()) {
+            out.push((t, p));
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hlf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::units::us;
+    use anneal_graph::TaskGraphBuilder;
+    use anneal_sim::{simulate, SimConfig};
+    use anneal_topology::builders::{bus, hypercube};
+    use anneal_topology::CommParams;
+
+    /// Two chains of different lengths sharing a root.
+    fn two_chains() -> anneal_graph::TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let root = b.add_task(us(1.0));
+        let long1 = b.add_task(us(10.0));
+        let long2 = b.add_task(us(10.0));
+        let long3 = b.add_task(us(10.0));
+        let short1 = b.add_task(us(10.0));
+        b.add_edge(root, long1, 0).unwrap();
+        b.add_edge(long1, long2, 0).unwrap();
+        b.add_edge(long2, long3, 0).unwrap();
+        b.add_edge(root, short1, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hlf_is_optimal_on_two_chains() {
+        // With 2 procs and no comm, HLF runs the long chain immediately:
+        // makespan = 1 + 30 = 31us (short chain fits in parallel).
+        let g = two_chains();
+        let mut s = HlfScheduler::new();
+        let cfg = SimConfig {
+            comm_enabled: false,
+            ..SimConfig::default()
+        };
+        let r = simulate(&g, &bus(2), &CommParams::zero(), &mut s, &cfg).unwrap();
+        assert_eq!(r.makespan, us(31.0));
+        r.audit(&g).unwrap();
+    }
+
+    #[test]
+    fn first_idle_placement_deterministic() {
+        let g = two_chains();
+        let run = || {
+            let mut s = HlfScheduler::new();
+            simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default())
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn random_placement_reproducible_per_seed() {
+        let g = two_chains();
+        let run = |seed| {
+            let mut s = HlfScheduler::with_placement(Placement::Random(seed));
+            simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default())
+                .unwrap()
+                .placement
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn audits_on_paper_architectures() {
+        let g = two_chains();
+        for topo in anneal_topology::builders::paper_architectures() {
+            let mut s = HlfScheduler::new();
+            let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
+                .unwrap();
+            r.audit(&g).unwrap();
+        }
+    }
+}

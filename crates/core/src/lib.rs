@@ -1,0 +1,68 @@
+//! # anneal-core
+//!
+//! The primary contribution of D'Hollander & Devis (ICPP 1991): scheduling
+//! a **directed** task graph onto a multicomputer by **staged simulated
+//! annealing**, plus the Highest Level First baseline and supporting
+//! solvers.
+//!
+//! ## The algorithm (paper §4–5)
+//!
+//! Until all tasks are assigned:
+//!
+//! 1. Assemble an **annealing packet**: the ready tasks (no unfinished
+//!    predecessors) and the idle processors ([`packet`]).
+//! 2. For cooling temperatures `Temp_k` until convergence (cost constant
+//!    for five iterations) or an iteration cap ([`cooling`], [`annealer`]):
+//!    * arbitrarily select a task `t_i` and a processor `p_j ≠ m_i`; if
+//!      `p_j` is idle assign `t_i` to it (possibly removing `t_i` from
+//!      another processor), otherwise exchange the two tasks
+//!      ([`mapping`]);
+//!    * accept with the Boltzmann probability `B(ΔF, Temp_k) =
+//!      1/(1+e^{ΔF/Temp})` ([`boltzmann`]).
+//! 3. Dispatch the selected tasks; unassigned tasks move to the next
+//!    packet.
+//!
+//! The cost `F = w_c·F_c/ΔF_c + w_b·F_b/ΔF_b` combines the level-based
+//! load-balancing term `F_b = −Σ n_i s(i)` and the eq. 4 communication
+//! term ([`cost`]).
+//!
+//! ## Contents
+//!
+//! * [`sa::SaScheduler`] — the staged SA scheduler (an
+//!   `anneal_sim::OnlineScheduler`).
+//! * [`hlf::HlfScheduler`] / [`list::ListScheduler`] — the Highest Level
+//!   First baseline and a general priority list-scheduling framework.
+//! * [`optimal`] — exact branch-and-bound makespan for small no-comm
+//!   instances.
+//! * [`anomaly`] — Graham (1969) multiprocessor anomaly instances; the
+//!   paper observes SA "is able to optimally solve the Graham list
+//!   scheduling anomalies".
+//! * [`parallel`] — seeded multi-restart SA across threads.
+//! * [`static_sa`] — whole-graph annealing (the §3 balancing-problem
+//!   style) with simulation-in-the-loop cost, for comparison with the
+//!   staged algorithm.
+//! * [`mct`] — HLF ranking with greedy minimum-eq.4 placement, isolating
+//!   the value of placement awareness from stochastic search.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod annealer;
+pub mod anomaly;
+pub mod boltzmann;
+pub mod cooling;
+pub mod cost;
+pub mod hlf;
+pub mod list;
+pub mod mapping;
+pub mod mct;
+pub mod optimal;
+pub mod packet;
+pub mod parallel;
+pub mod sa;
+pub mod static_sa;
+pub mod trace;
+
+pub use hlf::HlfScheduler;
+pub use mct::MctScheduler;
+pub use sa::{SaConfig, SaScheduler, SaStats};

@@ -1,0 +1,208 @@
+//! Generic priority list scheduling.
+//!
+//! At each epoch the ready tasks are sorted by a static priority and
+//! assigned, best first, to the idle processors in index order. The
+//! Highest Level First baseline is [`PriorityPolicy::HighestLevelFirst`];
+//! the other policies support the statistical comparisons of list
+//! schedules (Adam, Chandy & Dickinson, ref. 1 in the paper).
+
+use anneal_graph::levels::{bottom_levels, bottom_levels_with_comm};
+use anneal_graph::{TaskGraph, TaskId, Work};
+use anneal_sim::{EpochContext, OnlineScheduler};
+use anneal_topology::ProcId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Static priority policies (higher value dispatches first; ties break
+/// toward lower task ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityPolicy {
+    /// The paper's baseline: priority = task level `n_i` (bottom level).
+    HighestLevelFirst,
+    /// Bottom level including communication weights along the path.
+    HighestLevelFirstComm,
+    /// Largest processing time first.
+    LongestTaskFirst,
+    /// Smallest processing time first.
+    ShortestTaskFirst,
+    /// List order = task id order (Graham's classic "list" semantics).
+    Fifo,
+    /// A random (but seed-reproducible) permutation.
+    Random(u64),
+}
+
+impl PriorityPolicy {
+    /// Computes the static priority vector for a graph.
+    pub fn priorities(self, g: &TaskGraph) -> Vec<Work> {
+        match self {
+            PriorityPolicy::HighestLevelFirst => bottom_levels(g),
+            PriorityPolicy::HighestLevelFirstComm => bottom_levels_with_comm(g),
+            PriorityPolicy::LongestTaskFirst => g.loads().to_vec(),
+            PriorityPolicy::ShortestTaskFirst => {
+                g.loads().iter().map(|&l| Work::MAX - l).collect()
+            }
+            PriorityPolicy::Fifo => {
+                let n = g.num_tasks() as Work;
+                (0..g.num_tasks()).map(|i| n - i as Work).collect()
+            }
+            PriorityPolicy::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut ranks: Vec<Work> = (1..=g.num_tasks() as Work).collect();
+                ranks.shuffle(&mut rng);
+                ranks
+            }
+        }
+    }
+
+    /// A short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityPolicy::HighestLevelFirst => "hlf",
+            PriorityPolicy::HighestLevelFirstComm => "hlf-comm",
+            PriorityPolicy::LongestTaskFirst => "lpt",
+            PriorityPolicy::ShortestTaskFirst => "spt",
+            PriorityPolicy::Fifo => "fifo",
+            PriorityPolicy::Random(_) => "random",
+        }
+    }
+}
+
+/// A list scheduler with a pluggable priority policy.
+#[derive(Debug, Clone)]
+pub struct ListScheduler {
+    policy: PriorityPolicy,
+    priorities: Option<Vec<Work>>,
+}
+
+impl ListScheduler {
+    /// Creates a list scheduler.
+    pub fn new(policy: PriorityPolicy) -> Self {
+        ListScheduler {
+            policy,
+            priorities: None,
+        }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> PriorityPolicy {
+        self.policy
+    }
+}
+
+impl OnlineScheduler for ListScheduler {
+    fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
+        let pr = self
+            .priorities
+            .get_or_insert_with(|| self.policy.priorities(ctx.graph));
+        let mut ranked: Vec<TaskId> = ctx.ready.to_vec();
+        ranked.sort_by_key(|&t| (std::cmp::Reverse(pr[t.index()]), t));
+        for (&t, &p) in ranked.iter().zip(ctx.idle.iter()) {
+            out.push((t, p));
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::units::us;
+    use anneal_graph::TaskGraphBuilder;
+    use anneal_sim::{simulate, SimConfig};
+    use anneal_topology::builders::bus;
+    use anneal_topology::CommParams;
+
+    fn wide_graph() -> TaskGraph {
+        // root -> 4 children with very different levels
+        let mut b = TaskGraphBuilder::new();
+        let root = b.add_task(us(1.0));
+        let chain_head = b.add_task(us(5.0)); // continues into a chain: high level
+        let mid = b.add_task(us(5.0));
+        let leafy1 = b.add_task(us(2.0)); // low level
+        let leafy2 = b.add_task(us(3.0));
+        let tail = b.add_task(us(50.0));
+        b.add_edge(root, chain_head, 0).unwrap();
+        b.add_edge(root, leafy1, 0).unwrap();
+        b.add_edge(root, leafy2, 0).unwrap();
+        b.add_edge(chain_head, mid, 0).unwrap();
+        b.add_edge(mid, tail, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hlf_prefers_long_chain() {
+        let g = wide_graph();
+        let pr = PriorityPolicy::HighestLevelFirst.priorities(&g);
+        // chain head level = 5+5+50 = 60us; leafy1 = 2us.
+        assert_eq!(pr[1], us(60.0));
+        assert_eq!(pr[3], us(2.0));
+        assert!(pr[1] > pr[3]);
+    }
+
+    #[test]
+    fn policies_produce_valid_schedules() {
+        let g = wide_graph();
+        let topo = bus(2);
+        for policy in [
+            PriorityPolicy::HighestLevelFirst,
+            PriorityPolicy::HighestLevelFirstComm,
+            PriorityPolicy::LongestTaskFirst,
+            PriorityPolicy::ShortestTaskFirst,
+            PriorityPolicy::Fifo,
+            PriorityPolicy::Random(5),
+        ] {
+            let mut s = ListScheduler::new(policy);
+            let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
+                .unwrap();
+            r.audit(&g).unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+        }
+    }
+
+    #[test]
+    fn fifo_respects_id_order() {
+        let mut b = TaskGraphBuilder::new();
+        for _ in 0..4 {
+            b.add_task(us(1.0));
+        }
+        let g = b.build().unwrap();
+        let pr = PriorityPolicy::Fifo.priorities(&g);
+        assert!(pr[0] > pr[1] && pr[1] > pr[2] && pr[2] > pr[3]);
+    }
+
+    #[test]
+    fn random_is_reproducible_permutation() {
+        let g = wide_graph();
+        let a = PriorityPolicy::Random(9).priorities(&g);
+        let b = PriorityPolicy::Random(9).priorities(&g);
+        let c = PriorityPolicy::Random(10).priorities(&g);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spt_inverts_lpt() {
+        let g = wide_graph();
+        let lpt = PriorityPolicy::LongestTaskFirst.priorities(&g);
+        let spt = PriorityPolicy::ShortestTaskFirst.priorities(&g);
+        // order reversed: the largest LPT priority has the smallest SPT
+        let lpt_max = lpt.iter().position(|&v| v == *lpt.iter().max().unwrap());
+        let spt_min = spt.iter().position(|&v| v == *spt.iter().min().unwrap());
+        assert_eq!(lpt_max, spt_min);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ListScheduler::new(PriorityPolicy::Fifo).name(), "fifo");
+        assert_eq!(
+            ListScheduler::new(PriorityPolicy::HighestLevelFirst).name(),
+            "hlf"
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! The packet mapping function `m : T → P` and its move scheme
+//! (paper §5, step 2a).
+//!
+//! A mapping assigns at most one packet task to each idle processor.
+//! Moves follow the paper exactly: pick a task `t_i` and a processor
+//! `p_j ≠ m_i`;
+//!
+//! * if `p_j` is idle, assign `t_i` to `p_j` (possibly removing `t_i`
+//!   from another processor) — [`Move::Transfer`];
+//! * if `p_j` is busy executing `t_j`, exchange the two —
+//!   [`Move::Swap`].
+//!
+//! Both moves preserve the number of assigned tasks, so a mapping that
+//! starts saturated (`min(N, N_idle)` tasks placed) stays saturated.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A partial injective mapping between packet-task indices and
+/// packet-processor indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketMapping {
+    proc_of_task: Vec<Option<usize>>,
+    task_at_proc: Vec<Option<usize>>,
+}
+
+/// A reversible move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Task `task` moves to the empty processor `to` (leaving
+    /// `from`, its previous processor, if it had one).
+    Transfer {
+        /// Moving task index.
+        task: usize,
+        /// Destination processor index (must be empty).
+        to: usize,
+        /// Previous processor of `task`, if any.
+        from: Option<usize>,
+    },
+    /// Task `task` takes processor `to`, displacing task `other`
+    /// (which moves to `task`'s previous processor, or becomes
+    /// unassigned if `task` had none).
+    Swap {
+        /// Moving task index.
+        task: usize,
+        /// The task currently occupying `to`.
+        other: usize,
+        /// Destination processor index.
+        to: usize,
+        /// Previous processor of `task`, if any.
+        from: Option<usize>,
+    },
+}
+
+impl PacketMapping {
+    /// An empty mapping for `n_tasks × n_procs`.
+    pub fn new(n_tasks: usize, n_procs: usize) -> Self {
+        PacketMapping {
+            proc_of_task: vec![None; n_tasks],
+            task_at_proc: vec![None; n_procs],
+        }
+    }
+
+    /// Number of packet tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.proc_of_task.len()
+    }
+
+    /// Number of packet processors.
+    pub fn num_procs(&self) -> usize {
+        self.task_at_proc.len()
+    }
+
+    /// Processor index of a task, if assigned.
+    #[inline]
+    pub fn proc_of(&self, task: usize) -> Option<usize> {
+        self.proc_of_task[task]
+    }
+
+    /// Task index on a processor, if occupied.
+    #[inline]
+    pub fn task_at(&self, proc: usize) -> Option<usize> {
+        self.task_at_proc[proc]
+    }
+
+    /// Number of assigned tasks.
+    pub fn assigned_count(&self) -> usize {
+        self.proc_of_task.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Iterates `(task, proc)` pairs in task order.
+    pub fn assignments(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.proc_of_task
+            .iter()
+            .enumerate()
+            .filter_map(|(t, p)| p.map(|p| (t, p)))
+    }
+
+    /// Saturates the mapping: assigns the first `min(N, P)` tasks in a
+    /// random permutation to a random permutation of processors.
+    pub fn saturate_random<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut tasks: Vec<usize> = (0..self.num_tasks()).collect();
+        let mut procs: Vec<usize> = (0..self.num_procs()).collect();
+        tasks.shuffle(rng);
+        procs.shuffle(rng);
+        self.clear();
+        for (&t, &p) in tasks.iter().zip(procs.iter()) {
+            self.place(t, p);
+        }
+    }
+
+    /// Saturates deterministically: task `i` onto processor `i`.
+    pub fn saturate_in_order(&mut self) {
+        self.clear();
+        let k = self.num_tasks().min(self.num_procs());
+        for i in 0..k {
+            self.place(i, i);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.proc_of_task.iter_mut().for_each(|p| *p = None);
+        self.task_at_proc.iter_mut().for_each(|t| *t = None);
+    }
+
+    fn place(&mut self, task: usize, proc: usize) {
+        debug_assert!(self.proc_of_task[task].is_none());
+        debug_assert!(self.task_at_proc[proc].is_none());
+        self.proc_of_task[task] = Some(proc);
+        self.task_at_proc[proc] = Some(task);
+    }
+
+    fn unplace(&mut self, task: usize) {
+        if let Some(p) = self.proc_of_task[task].take() {
+            self.task_at_proc[p] = None;
+        }
+    }
+
+    /// Classifies the paper's move "select task `t_i` and processor
+    /// `p_j ≠ m_i`". Returns `None` when `proc` is the task's current
+    /// processor (not a legal move).
+    pub fn propose(&self, task: usize, proc: usize) -> Option<Move> {
+        if self.proc_of_task[task] == Some(proc) {
+            return None;
+        }
+        let from = self.proc_of_task[task];
+        Some(match self.task_at_proc[proc] {
+            None => Move::Transfer { task, to: proc, from },
+            Some(other) => Move::Swap {
+                task,
+                other,
+                to: proc,
+                from,
+            },
+        })
+    }
+
+    /// Applies a move (must have been proposed against the current
+    /// state).
+    pub fn apply(&mut self, mv: Move) {
+        match mv {
+            Move::Transfer { task, to, .. } => {
+                self.unplace(task);
+                self.place(task, to);
+            }
+            Move::Swap { task, other, to, from } => {
+                debug_assert_eq!(self.task_at_proc[to], Some(other));
+                self.unplace(task);
+                self.unplace(other);
+                self.place(task, to);
+                if let Some(f) = from {
+                    self.place(other, f);
+                }
+                // from == None: `other` becomes unassigned ("moved to the
+                // following annealing packet" if still unassigned at
+                // convergence).
+            }
+        }
+    }
+
+    /// Undoes a move previously applied to the current state.
+    pub fn undo(&mut self, mv: Move) {
+        match mv {
+            Move::Transfer { task, from, .. } => {
+                self.unplace(task);
+                if let Some(f) = from {
+                    self.place(task, f);
+                }
+            }
+            Move::Swap { task, other, to, from } => {
+                self.unplace(task);
+                if from.is_some() {
+                    self.unplace(other);
+                }
+                self.place(other, to);
+                if let Some(f) = from {
+                    self.place(task, f);
+                }
+            }
+        }
+    }
+
+    /// Internal consistency check (both directions agree).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (t, p) in self.proc_of_task.iter().enumerate() {
+            if let Some(p) = p {
+                if self.task_at_proc[*p] != Some(t) {
+                    return Err(format!("task {t} -> proc {p} not mirrored"));
+                }
+            }
+        }
+        for (p, t) in self.task_at_proc.iter().enumerate() {
+            if let Some(t) = t {
+                if self.proc_of_task[*t] != Some(p) {
+                    return Err(format!("proc {p} -> task {t} not mirrored"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn saturation_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = PacketMapping::new(5, 3);
+        m.saturate_random(&mut rng);
+        assert_eq!(m.assigned_count(), 3);
+        m.check_invariants().unwrap();
+
+        let mut m2 = PacketMapping::new(2, 4);
+        m2.saturate_random(&mut rng);
+        assert_eq!(m2.assigned_count(), 2);
+        m2.check_invariants().unwrap();
+
+        let mut m3 = PacketMapping::new(3, 3);
+        m3.saturate_in_order();
+        assert_eq!(m3.assignments().collect::<Vec<_>>(), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn transfer_to_empty_proc() {
+        let mut m = PacketMapping::new(2, 3);
+        m.saturate_in_order(); // t0->p0, t1->p1; p2 empty
+        let mv = m.propose(0, 2).unwrap();
+        assert!(matches!(mv, Move::Transfer { task: 0, to: 2, from: Some(0) }));
+        m.apply(mv);
+        assert_eq!(m.proc_of(0), Some(2));
+        assert_eq!(m.task_at(0), None);
+        m.check_invariants().unwrap();
+        m.undo(mv);
+        assert_eq!(m.proc_of(0), Some(0));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_two_assigned() {
+        let mut m = PacketMapping::new(2, 2);
+        m.saturate_in_order();
+        let mv = m.propose(0, 1).unwrap();
+        assert!(matches!(mv, Move::Swap { task: 0, other: 1, to: 1, from: Some(0) }));
+        m.apply(mv);
+        assert_eq!(m.proc_of(0), Some(1));
+        assert_eq!(m.proc_of(1), Some(0));
+        m.check_invariants().unwrap();
+        m.undo(mv);
+        assert_eq!(m.proc_of(0), Some(0));
+        assert_eq!(m.proc_of(1), Some(1));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unassigned_task_displaces() {
+        // 3 tasks, 2 procs: t2 unassigned; moving t2 onto p0 bumps t0 out.
+        let mut m = PacketMapping::new(3, 2);
+        m.saturate_in_order(); // t0->p0, t1->p1
+        let mv = m.propose(2, 0).unwrap();
+        assert!(matches!(mv, Move::Swap { task: 2, other: 0, to: 0, from: None }));
+        m.apply(mv);
+        assert_eq!(m.proc_of(2), Some(0));
+        assert_eq!(m.proc_of(0), None);
+        assert_eq!(m.assigned_count(), 2);
+        m.check_invariants().unwrap();
+        m.undo(mv);
+        assert_eq!(m.proc_of(0), Some(0));
+        assert_eq!(m.proc_of(2), None);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unassigned_to_empty_proc_transfer(/* tasks < procs case */) {
+        let mut m = PacketMapping::new(1, 3);
+        m.saturate_in_order(); // t0 -> p0
+        // move to empty p2
+        let mv = m.propose(0, 2).unwrap();
+        m.apply(mv);
+        assert_eq!(m.assigned_count(), 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn self_move_rejected() {
+        let mut m = PacketMapping::new(2, 2);
+        m.saturate_in_order();
+        assert!(m.propose(0, 0).is_none());
+        assert!(m.propose(0, 1).is_some());
+    }
+
+    #[test]
+    fn moves_preserve_saturation_randomized() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (n, p) in [(5usize, 3usize), (3, 5), (4, 4), (1, 1), (6, 2)] {
+            let mut m = PacketMapping::new(n, p);
+            m.saturate_random(&mut rng);
+            let expect = n.min(p);
+            for _ in 0..200 {
+                let task = rng.gen_range(0..n);
+                let proc = rng.gen_range(0..p);
+                if let Some(mv) = m.propose(task, proc) {
+                    m.apply(mv);
+                    assert_eq!(m.assigned_count(), expect);
+                    m.check_invariants().unwrap();
+                    if rng.gen_bool(0.5) {
+                        m.undo(mv);
+                        assert_eq!(m.assigned_count(), expect);
+                        m.check_invariants().unwrap();
+                    }
+                }
+            }
+        }
+    }
+}

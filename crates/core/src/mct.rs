@@ -1,0 +1,161 @@
+//! A communication-aware list baseline: HLF ranking with
+//! minimum-communication-cost placement ("MCT" — minimum cost task
+//! placement).
+//!
+//! The paper's HLF places tasks on *arbitrary* free processors; its SA
+//! places them by annealing eq. 6. This scheduler sits between the two:
+//! it keeps HLF's deterministic level ranking but places each task on
+//! the idle processor with the smallest eq. 4 input-communication
+//! estimate (ties toward the lowest processor id). It is the natural
+//! greedy you would build once you have the eq. 4 table, and shows how
+//! much of SA's gain comes from *placement awareness* versus
+//! *stochastic search* (see the ablations).
+
+use anneal_graph::levels::bottom_levels;
+use anneal_graph::{TaskId, Work};
+use anneal_sim::{EpochContext, OnlineScheduler};
+use anneal_topology::ProcId;
+
+/// Highest-level-first ranking with greedy minimum-eq.4 placement.
+#[derive(Debug, Default)]
+pub struct MctScheduler {
+    levels: Option<Vec<Work>>,
+}
+
+impl MctScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OnlineScheduler for MctScheduler {
+    fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
+        let levels = self
+            .levels
+            .get_or_insert_with(|| bottom_levels(ctx.graph));
+        let mut ranked: Vec<TaskId> = ctx.ready.to_vec();
+        ranked.sort_by_key(|&t| (std::cmp::Reverse(levels[t.index()]), t));
+        let mut free: Vec<ProcId> = ctx.idle.to_vec();
+        for &t in ranked.iter() {
+            if free.is_empty() {
+                break;
+            }
+            // eq. 4 input estimate of placing t on q, over all placed
+            // predecessors (all finished: t is ready).
+            let cost_on = |q: ProcId| -> u64 {
+                ctx.graph
+                    .predecessors(t)
+                    .iter()
+                    .map(|e| {
+                        let src = ctx.placement[e.target.index()]
+                            .expect("predecessor of ready task is placed");
+                        let d = ctx.routes.distance(src, q);
+                        ctx.params.eq4_cost(e.weight, d, src == q)
+                    })
+                    .sum()
+            };
+            let (bi, _) = free
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (i, cost_on(q)))
+                .min_by_key(|&(i, c)| (c, free[i]))
+                .expect("free is non-empty");
+            out.push((t, free.swap_remove(bi)));
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hlf-mct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::units::us;
+    use anneal_graph::TaskGraphBuilder;
+    use anneal_sim::{simulate, SimConfig};
+    use anneal_topology::builders::{linear, paper_architectures};
+    use anneal_topology::CommParams;
+
+    #[test]
+    fn places_consumer_next_to_producer() {
+        // a on some proc; b should land on the same proc (cost 0).
+        let mut bld = TaskGraphBuilder::new();
+        let a = bld.add_task(us(10.0));
+        let b = bld.add_task(us(10.0));
+        bld.add_edge(a, b, us(4.0)).unwrap();
+        let g = bld.build().unwrap();
+        let topo = linear(3);
+        let mut s = MctScheduler::new();
+        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
+            .unwrap();
+        assert_eq!(r.placement[a.index()], r.placement[b.index()]);
+        assert_eq!(r.comm.messages, 0);
+        assert_eq!(r.makespan, us(20.0));
+    }
+
+    #[test]
+    fn beats_plain_hlf_on_comm_heavy_chain() {
+        // Three equal-duration lanes whose task *ids* rotate every
+        // level: HLF's (level, id) ranking assigns the rotated order to
+        // processors in index order, so its placement bounces between
+        // processors and pays crossing messages each level; MCT follows
+        // the data and keeps every lane local.
+        let mut bld = TaskGraphBuilder::new();
+        let mut prev: Vec<_> = (0..3).map(|_| bld.add_task(us(10.0))).collect();
+        for level in 1..5 {
+            let mut next = prev.clone();
+            for k in 0..3 {
+                // lane (k + level) % 3 receives the k-th id of this level
+                next[(k + level) % 3] = bld.add_task(us(10.0));
+            }
+            for (p, n) in prev.iter().zip(&next) {
+                bld.add_edge(*p, *n, us(8.0)).unwrap();
+            }
+            prev = next;
+        }
+        let g = bld.build().unwrap();
+        let topo = linear(3);
+        let mut mct = MctScheduler::new();
+        let rm = simulate(&g, &topo, &CommParams::paper(), &mut mct, &SimConfig::default())
+            .unwrap();
+        let mut hlf = crate::HlfScheduler::new();
+        let rh = simulate(&g, &topo, &CommParams::paper(), &mut hlf, &SimConfig::default())
+            .unwrap();
+        rm.audit(&g).unwrap();
+        assert!(
+            rm.makespan < rh.makespan,
+            "mct {} vs hlf {}",
+            rm.makespan,
+            rh.makespan
+        );
+        // lanes stay fully local
+        assert_eq!(rm.comm.messages, 0);
+    }
+
+    #[test]
+    fn audits_on_paper_grid() {
+        let g = anneal_workloads_smoke();
+        for topo in paper_architectures() {
+            let mut s = MctScheduler::new();
+            let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
+                .unwrap();
+            r.audit(&g).unwrap();
+        }
+    }
+
+    fn anneal_workloads_smoke() -> anneal_graph::TaskGraph {
+        // small diamond-ish graph to avoid a workloads dev-dependency
+        let mut bld = TaskGraphBuilder::new();
+        let a = bld.add_task(us(5.0));
+        let xs: Vec<_> = (0..6).map(|_| bld.add_task(us(25.0))).collect();
+        let z = bld.add_task(us(5.0));
+        for &x in &xs {
+            bld.add_edge(a, x, us(4.0)).unwrap();
+            bld.add_edge(x, z, us(4.0)).unwrap();
+        }
+        bld.build().unwrap()
+    }
+}

@@ -1,0 +1,175 @@
+//! Annealing-packet assembly (paper §4.1).
+//!
+//! "An annealing packet contains the ready tasks and the idle
+//! processors. The ready tasks have no unfinished predecessors. At each
+//! epoch a simulated annealing process maps the tasks of one packet onto
+//! the processors. Unassigned tasks are moved to the following annealing
+//! packet."
+//!
+//! Because every predecessor of a ready task has already finished, its
+//! processor placement is known, so the eq. 4 communication cost of
+//! putting task `t_i` on candidate processor `q` is a constant that can
+//! be tabulated once per packet ([`AnnealingPacket::comm_cost`]). The SA
+//! inner loop then evaluates moves in O(1).
+
+use anneal_graph::{TaskId, Work};
+use anneal_sim::EpochContext;
+use anneal_topology::ProcId;
+
+/// A scheduling stage: ready tasks × idle processors, with precomputed
+/// levels and communication-cost tables.
+#[derive(Debug, Clone)]
+pub struct AnnealingPacket {
+    /// The candidate tasks (`N` of them), sorted by id.
+    pub tasks: Vec<TaskId>,
+    /// The idle processors, sorted by id.
+    pub procs: Vec<ProcId>,
+    /// `levels[i]` is the paper's task level `n_i` of `tasks[i]` (ns).
+    pub levels: Vec<Work>,
+    /// `comm_cost[i][j]`: total eq. 4 cost of placing `tasks[i]` on
+    /// `procs[j]`, summed over all its (finished, placed) predecessors.
+    /// All zeros when communication is disabled.
+    pub comm_cost: Vec<Vec<u64>>,
+    /// Worst-case (over the idle processors) communication cost per
+    /// task; used for the `ΔF_c` normalization range.
+    pub worst_comm: Vec<u64>,
+    /// Epoch time (ns), for traces.
+    pub epoch_time: u64,
+}
+
+impl AnnealingPacket {
+    /// Builds the packet for an epoch. `levels` is the full per-task
+    /// bottom-level vector for the graph (cached by the scheduler).
+    pub fn from_epoch(ctx: &EpochContext<'_>, levels: &[Work]) -> Self {
+        let tasks: Vec<TaskId> = ctx.ready.to_vec();
+        let procs: Vec<ProcId> = ctx.idle.to_vec();
+        let lv: Vec<Work> = tasks.iter().map(|t| levels[t.index()]).collect();
+
+        let mut comm_cost = vec![vec![0u64; procs.len()]; tasks.len()];
+        let mut worst_comm = vec![0u64; tasks.len()];
+        if ctx.comm_enabled {
+            for (i, &t) in tasks.iter().enumerate() {
+                // Predecessor placements are all known: ready ⇒ finished.
+                let preds: Vec<(ProcId, Work)> = ctx
+                    .graph
+                    .predecessors(t)
+                    .iter()
+                    .map(|e| {
+                        let src = ctx.placement[e.target.index()]
+                            .expect("predecessor of a ready task is placed");
+                        (src, e.weight)
+                    })
+                    .collect();
+                for (j, &q) in procs.iter().enumerate() {
+                    let mut c = 0u64;
+                    for &(src, w) in &preds {
+                        let d = ctx.routes.distance(src, q);
+                        c += ctx.params.eq4_cost(w, d, src == q);
+                    }
+                    comm_cost[i][j] = c;
+                }
+                worst_comm[i] = comm_cost[i].iter().copied().max().unwrap_or(0);
+            }
+        }
+        AnnealingPacket {
+            tasks,
+            procs,
+            levels: lv,
+            comm_cost,
+            worst_comm,
+            epoch_time: ctx.time,
+        }
+    }
+
+    /// Number of candidate tasks `N`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of idle processors `N_idle`.
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of tasks that will actually be selected:
+    /// `min(N, N_idle)` (the mapping always saturates).
+    pub fn num_selected(&self) -> usize {
+        self.tasks.len().min(self.procs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::levels::bottom_levels;
+    use anneal_graph::TaskGraphBuilder;
+    use anneal_sim::{simulate, OnlineScheduler, SimConfig};
+    use anneal_topology::builders::linear;
+    use anneal_topology::CommParams;
+
+    /// Captures the packet built at the *second* epoch of a tiny run, so
+    /// predecessors have real placements.
+    struct Capture {
+        levels: Vec<Work>,
+        captured: Option<AnnealingPacket>,
+    }
+    impl OnlineScheduler for Capture {
+        fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
+            if ctx.time > 0 && self.captured.is_none() {
+                self.captured = Some(AnnealingPacket::from_epoch(ctx, &self.levels));
+            }
+            for (&t, &p) in ctx.ready.iter().zip(ctx.idle.iter()) {
+                out.push((t, p));
+            }
+        }
+    }
+
+    #[test]
+    fn packet_tabulates_eq4_costs() {
+        // a -> b with weight 4us; a runs on P0 (greedy assigns t0->P0).
+        let mut bld = TaskGraphBuilder::new();
+        let a = bld.add_task(10_000);
+        let b = bld.add_task(20_000);
+        bld.add_edge(a, b, 4_000).unwrap();
+        let g = bld.build().unwrap();
+        let topo = linear(3);
+        let params = CommParams::paper();
+        let mut s = Capture {
+            levels: bottom_levels(&g),
+            captured: None,
+        };
+        simulate(&g, &topo, &params, &mut s, &SimConfig::default()).unwrap();
+        let pk = s.captured.expect("second epoch seen");
+        assert_eq!(pk.tasks, vec![b]);
+        assert_eq!(pk.procs.len(), 3);
+        // comm cost of b on P0 (same proc as a) = 0;
+        // on P1 (d=1) = 4000*1 + sigma = 11_000;
+        // on P2 (d=2) = 8000 + tau + sigma = 24_000.
+        assert_eq!(pk.comm_cost[0], vec![0, 11_000, 24_000]);
+        assert_eq!(pk.worst_comm[0], 24_000);
+        assert_eq!(pk.levels, vec![20_000]);
+        assert_eq!(pk.num_selected(), 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn no_comm_mode_zeroes_table() {
+        let mut bld = TaskGraphBuilder::new();
+        let a = bld.add_task(10_000);
+        let b = bld.add_task(20_000);
+        bld.add_edge(a, b, 4_000).unwrap();
+        let g = bld.build().unwrap();
+        let topo = linear(2);
+        let mut s = Capture {
+            levels: bottom_levels(&g),
+            captured: None,
+        };
+        let cfg = SimConfig {
+            comm_enabled: false,
+            ..SimConfig::default()
+        };
+        simulate(&g, &topo, &CommParams::zero(), &mut s, &cfg).unwrap();
+        let pk = s.captured.unwrap();
+        assert!(pk.comm_cost.iter().all(|row| row.iter().all(|&c| c == 0)));
+    }
+}

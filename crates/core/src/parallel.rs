@@ -1,0 +1,160 @@
+//! Multi-restart SA across threads.
+//!
+//! Simulated annealing is stochastic; independent restarts with
+//! different seeds explore different basins, and the per-packet runs are
+//! embarrassingly parallel across restarts. `best_of_restarts` runs one
+//! full schedule-and-simulate per seed on its own thread (std scoped
+//! threads; no shared mutable state) and keeps the best makespan —
+//! deterministic given the seed list.
+
+use anneal_graph::TaskGraph;
+use anneal_sim::{simulate, SimConfig, SimError, SimResult};
+use anneal_topology::{CommParams, Topology};
+
+use crate::sa::{SaConfig, SaScheduler};
+
+/// Outcome of a restart sweep.
+#[derive(Debug, Clone)]
+pub struct RestartOutcome {
+    /// The best run.
+    pub result: SimResult,
+    /// The seed that produced it.
+    pub seed: u64,
+    /// Makespan of every seed, in input order.
+    pub all_makespans: Vec<u64>,
+}
+
+/// Runs one full SA schedule per seed (in parallel) and returns the best
+/// by makespan; ties break toward the earlier seed in `seeds`.
+pub fn best_of_restarts(
+    graph: &TaskGraph,
+    topology: &Topology,
+    params: &CommParams,
+    base: &SaConfig,
+    seeds: &[u64],
+    sim_cfg: &SimConfig,
+) -> Result<RestartOutcome, SimError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let results: Vec<Result<SimResult, SimError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || {
+                    let mut sched = SaScheduler::new(base.clone().with_seed(seed));
+                    simulate(graph, topology, params, &mut sched, sim_cfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+
+    let mut best: Option<(usize, SimResult)> = None;
+    let mut all = Vec::with_capacity(seeds.len());
+    for (i, r) in results.into_iter().enumerate() {
+        let r = r?;
+        all.push(r.makespan);
+        let better = match &best {
+            None => true,
+            Some((_, b)) => r.makespan < b.makespan,
+        };
+        if better {
+            best = Some((i, r));
+        }
+    }
+    let (idx, result) = best.expect("at least one seed");
+    Ok(RestartOutcome {
+        result,
+        seed: seeds[idx],
+        all_makespans: all,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::generate::{layered_random, LayeredConfig, Range};
+    use anneal_graph::units::us;
+    use anneal_topology::builders::hypercube;
+    use rand::SeedableRng;
+
+    fn sample_graph() -> TaskGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        layered_random(
+            &LayeredConfig {
+                layers: 4,
+                width: 6,
+                edge_prob: 0.3,
+                load: Range::new(us(5.0), us(40.0)),
+                comm: Range::new(us(1.0), us(8.0)),
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn best_of_restarts_picks_minimum() {
+        let g = sample_graph();
+        let topo = hypercube(3);
+        let out = best_of_restarts(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &SaConfig::default(),
+            &[1, 2, 3, 4],
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.all_makespans.len(), 4);
+        let min = *out.all_makespans.iter().min().unwrap();
+        assert_eq!(out.result.makespan, min);
+        assert!(out.all_makespans.contains(&out.result.makespan));
+        out.result.audit(&g).unwrap();
+    }
+
+    #[test]
+    fn restart_sweep_is_deterministic() {
+        let g = sample_graph();
+        let topo = hypercube(3);
+        let run = || {
+            best_of_restarts(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &SaConfig::default(),
+                &[7, 8],
+                &SimConfig::default(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.result.makespan, b.result.makespan);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.all_makespans, b.all_makespans);
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let g = sample_graph();
+        let topo = hypercube(3);
+        let few = best_of_restarts(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &SaConfig::default(),
+            &[1],
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let many = best_of_restarts(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &SaConfig::default(),
+            &[1, 2, 3, 4, 5, 6],
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(many.result.makespan <= few.result.makespan);
+    }
+}

@@ -1,0 +1,261 @@
+//! Whole-graph ("static") simulated annealing — the §3 alternative.
+//!
+//! The mapping and balancing problems the paper builds on (Bollinger &
+//! Midkiff; Hwang & Xu) anneal a *complete* task→processor mapping at
+//! once. The paper replaces that with staged annealing because directed
+//! graphs change their communication pattern over time. This module
+//! implements the whole-graph approach as a comparison point: a full
+//! mapping is annealed with the *simulated makespan itself* as the cost
+//! function (each move is evaluated by replaying the mapping through the
+//! discrete-event engine with a [`FixedMapping`] scheduler).
+//!
+//! That makes the static annealer far more expensive per move than the
+//! paper's packet annealer (a full simulation instead of an O(1) delta),
+//! which is precisely the trade-off the staged formulation avoids.
+
+use anneal_graph::levels::bottom_levels;
+use anneal_graph::TaskGraph;
+use anneal_sim::{simulate, FixedMapping, SimConfig, SimError, SimResult};
+use anneal_topology::{CommParams, ProcId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::boltzmann::{accept, AcceptanceRule};
+use crate::cooling::CoolingSchedule;
+
+/// Configuration of the whole-graph annealer.
+#[derive(Debug, Clone)]
+pub struct StaticSaConfig {
+    /// Temperature steps.
+    pub max_iters: u64,
+    /// Moves per temperature step (0 = `max(8, num_tasks / 4)`).
+    pub moves_per_temp: usize,
+    /// Stop after this many cost-constant temperature steps.
+    pub stable_iters: u64,
+    /// Cooling schedule. Costs are makespans normalized by `T_1`, so
+    /// order-0.1 temperatures are "hot".
+    pub cooling: CoolingSchedule,
+    /// Acceptance rule.
+    pub acceptance: AcceptanceRule,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StaticSaConfig {
+    fn default() -> Self {
+        StaticSaConfig {
+            max_iters: 120,
+            moves_per_temp: 0,
+            stable_iters: 8,
+            cooling: CoolingSchedule::Geometric { t0: 0.05, alpha: 0.93 },
+            acceptance: AcceptanceRule::HeatBath,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a whole-graph annealing run.
+#[derive(Debug, Clone)]
+pub struct StaticSaOutcome {
+    /// The best mapping's simulation result.
+    pub result: SimResult,
+    /// The best mapping (task index → processor).
+    pub mapping: Vec<ProcId>,
+    /// Number of full simulations performed.
+    pub evaluations: u64,
+    /// Temperature steps executed.
+    pub iterations: u64,
+}
+
+/// Anneals a complete mapping of `g` onto `topo`, evaluating every move
+/// with a full discrete-event simulation.
+pub fn static_sa(
+    g: &TaskGraph,
+    topo: &Topology,
+    params: &CommParams,
+    sim_cfg: &SimConfig,
+    cfg: &StaticSaConfig,
+) -> Result<StaticSaOutcome, SimError> {
+    let n = g.num_tasks();
+    let np = topo.num_procs();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let levels = bottom_levels(g);
+
+    let evaluate = |mapping: &[ProcId]| -> Result<SimResult, SimError> {
+        let mut sched = FixedMapping::new(mapping.to_vec())
+            // dispatch ties broken by level, like the list baselines
+            .with_order(levels.iter().map(|&l| u64::MAX - l).collect());
+        simulate(g, topo, params, &mut sched, sim_cfg)
+    };
+
+    // Initial mapping: round-robin in topological order (balanced and
+    // feasible; annealing reshuffles from here).
+    let mut mapping: Vec<ProcId> = vec![ProcId::from_index(0); n];
+    for (i, &t) in g.topo_order().iter().enumerate() {
+        mapping[t.index()] = ProcId::from_index(i % np);
+    }
+    let mut evaluations = 0u64;
+    let mut current = evaluate(&mapping)?;
+    evaluations += 1;
+    let norm = g.total_work() as f64;
+    let mut cur_cost = current.makespan as f64 / norm;
+    let mut best = (cur_cost, mapping.clone(), current.clone());
+
+    let moves_per_temp = if cfg.moves_per_temp == 0 {
+        (n / 4).max(8)
+    } else {
+        cfg.moves_per_temp
+    };
+
+    let mut stable = 0u64;
+    let mut k = 0u64;
+    while k < cfg.max_iters && stable < cfg.stable_iters {
+        let temp = cfg.cooling.temperature(k);
+        let mut changed = false;
+        for _ in 0..moves_per_temp {
+            // Move: relocate one task, or swap two tasks' processors.
+            let a = rng.gen_range(0..n);
+            let (undo_a, undo_b);
+            if np > 1 && rng.gen_bool(0.5) {
+                let mut p = rng.gen_range(0..np);
+                while ProcId::from_index(p) == mapping[a] {
+                    p = rng.gen_range(0..np);
+                }
+                undo_a = (a, mapping[a]);
+                undo_b = None;
+                mapping[a] = ProcId::from_index(p);
+            } else {
+                let mut bidx = rng.gen_range(0..n);
+                while bidx == a {
+                    if n == 1 {
+                        break;
+                    }
+                    bidx = rng.gen_range(0..n);
+                }
+                undo_a = (a, mapping[a]);
+                undo_b = Some((bidx, mapping[bidx]));
+                mapping.swap(a, bidx);
+            }
+            let candidate = evaluate(&mapping)?;
+            evaluations += 1;
+            let cand_cost = candidate.makespan as f64 / norm;
+            let delta = cand_cost - cur_cost;
+            if accept(cfg.acceptance, delta, temp, &mut rng) {
+                if delta.abs() > 1e-15 {
+                    changed = true;
+                }
+                cur_cost = cand_cost;
+                current = candidate;
+                if cur_cost < best.0 {
+                    best = (cur_cost, mapping.clone(), current.clone());
+                }
+            } else {
+                // revert
+                if let Some((b_idx, b_proc)) = undo_b {
+                    mapping[b_idx] = b_proc;
+                }
+                mapping[undo_a.0] = undo_a.1;
+            }
+        }
+        if changed {
+            stable = 0;
+        } else {
+            stable += 1;
+        }
+        k += 1;
+    }
+
+    Ok(StaticSaOutcome {
+        result: best.2,
+        mapping: best.1,
+        evaluations,
+        iterations: k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::units::us;
+    use anneal_graph::TaskGraphBuilder;
+    use anneal_topology::builders::{bus, hypercube};
+
+    fn small_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let root = b.add_task(us(5.0));
+        let mid: Vec<_> = (0..6).map(|_| b.add_task(us(20.0))).collect();
+        let sink = b.add_task(us(5.0));
+        for &m in &mid {
+            b.add_edge(root, m, us(4.0)).unwrap();
+            b.add_edge(m, sink, us(4.0)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn quick_cfg(seed: u64) -> StaticSaConfig {
+        StaticSaConfig {
+            max_iters: 30,
+            moves_per_temp: 8,
+            seed,
+            ..StaticSaConfig::default()
+        }
+    }
+
+    #[test]
+    fn improves_over_initial_round_robin() {
+        let g = small_graph();
+        let topo = bus(4);
+        let out = static_sa(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &SimConfig::default(),
+            &quick_cfg(1),
+        )
+        .unwrap();
+        out.result.audit(&g).unwrap();
+        assert!(out.evaluations > 1);
+        // the annealed mapping is at least as good as pure round-robin
+        let mut rr = FixedMapping::new(
+            (0..g.num_tasks())
+                .map(|i| ProcId::from_index(i % 4))
+                .collect(),
+        );
+        let base = simulate(&g, &topo, &CommParams::paper(), &mut rr, &SimConfig::default())
+            .unwrap();
+        assert!(out.result.makespan <= base.makespan);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = small_graph();
+        let topo = hypercube(2);
+        let run = |seed| {
+            static_sa(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &SimConfig::default(),
+                &quick_cfg(seed),
+            )
+            .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.result.makespan, b.result.makespan);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_serial() {
+        let g = small_graph();
+        let topo = bus(1);
+        let cfg = SimConfig {
+            comm_enabled: false,
+            ..SimConfig::default()
+        };
+        let out = static_sa(&g, &topo, &CommParams::zero(), &cfg, &quick_cfg(2)).unwrap();
+        assert_eq!(out.result.makespan, g.total_work());
+    }
+}

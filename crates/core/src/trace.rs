@@ -1,0 +1,97 @@
+//! Cost-trajectory recording (the paper's Figure 1).
+
+/// One SA iteration's observables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Iteration index within the packet.
+    pub iter: u64,
+    /// Temperature at this iteration.
+    pub temp: f64,
+    /// Raw load-balancing cost `F_b = −Σ n_i s(i)` (ns units).
+    pub f_b_raw: f64,
+    /// Raw communication cost `F_c` (ns units).
+    pub f_c_raw: f64,
+    /// Normalized weighted balance term `w_b·F_b/ΔF_b`.
+    pub f_b_norm: f64,
+    /// Normalized weighted communication term `w_c·F_c/ΔF_c`.
+    pub f_c_norm: f64,
+    /// Total cost `F = w_c·F_c/ΔF_c + w_b·F_b/ΔF_b`.
+    pub f_total: f64,
+    /// Whether the proposed move was accepted.
+    pub accepted: bool,
+}
+
+/// The trajectory of one annealing packet.
+#[derive(Debug, Clone, Default)]
+pub struct PacketTrace {
+    /// Sequential packet index (0-based) within the run.
+    pub packet: u64,
+    /// Simulated time of the epoch (ns).
+    pub epoch_time: u64,
+    /// Ready-task candidates in the packet.
+    pub candidates: usize,
+    /// Idle processors in the packet.
+    pub idle: usize,
+    /// Per-iteration samples.
+    pub samples: Vec<TraceSample>,
+}
+
+impl PacketTrace {
+    /// Final total cost (0 if no samples).
+    pub fn final_cost(&self) -> f64 {
+        self.samples.last().map_or(0.0, |s| s.f_total)
+    }
+
+    /// Initial total cost (0 if no samples).
+    pub fn initial_cost(&self) -> f64 {
+        self.samples.first().map_or(0.0, |s| s.f_total)
+    }
+
+    /// Fraction of accepted moves.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.accepted).count() as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(iter: u64, f: f64, acc: bool) -> TraceSample {
+        TraceSample {
+            iter,
+            temp: 1.0,
+            f_b_raw: -f,
+            f_c_raw: f,
+            f_b_norm: -f,
+            f_c_norm: f,
+            f_total: f,
+            accepted: acc,
+        }
+    }
+
+    #[test]
+    fn cost_endpoints() {
+        let t = PacketTrace {
+            packet: 0,
+            epoch_time: 0,
+            candidates: 3,
+            idle: 1,
+            samples: vec![sample(0, 5.0, true), sample(1, 2.0, false), sample(2, 1.0, true)],
+        };
+        assert_eq!(t.initial_cost(), 5.0);
+        assert_eq!(t.final_cost(), 1.0);
+        assert!((t.acceptance_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = PacketTrace::default();
+        assert_eq!(t.initial_cost(), 0.0);
+        assert_eq!(t.final_cost(), 0.0);
+        assert_eq!(t.acceptance_rate(), 0.0);
+    }
+}

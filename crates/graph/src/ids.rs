@@ -1,0 +1,77 @@
+//! Typed identifiers for tasks.
+
+use std::fmt;
+
+/// Identifier of a task (node) in a [`crate::TaskGraph`].
+///
+/// Task ids are dense indices `0..num_tasks`, assigned in insertion order
+/// by [`crate::TaskGraphBuilder::add_task`]. They are valid only for the
+/// graph that created them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Creates a task id from a raw index.
+    ///
+    /// Intended for deserialization and tests; prefer ids returned by the
+    /// builder.
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        TaskId(i as u32)
+    }
+
+    /// Returns the dense index of this task.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<TaskId> for usize {
+    #[inline]
+    fn from(t: TaskId) -> usize {
+        t.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let t = TaskId::from_index(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(t.raw(), 42);
+        assert_eq!(usize::from(t), 42);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TaskId::from_index(1) < TaskId::from_index(2));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TaskId::from_index(7).to_string(), "t7");
+        assert_eq!(format!("{:?}", TaskId::from_index(7)), "t7");
+    }
+}

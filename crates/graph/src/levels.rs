@@ -1,0 +1,196 @@
+//! Task levels and related priority measures.
+//!
+//! The paper (§4.2a) defines the **level** `n_i` of task `t_i` as "the
+//! accumulated execution time of every task on the longest path connecting
+//! `t_i` with a leaf task" — i.e. the *bottom level including the task's
+//! own load*, ignoring communication. With unlimited processors and no
+//! communication, `n_i` is the minimal remaining execution time once `t_i`
+//! starts. Highest Level First and the SA balancing cost `F_b = −Σ n_i s(i)`
+//! both use this quantity.
+
+use crate::dag::TaskGraph;
+use crate::ids::TaskId;
+use crate::units::Work;
+
+/// Bottom levels `n_i` (paper's task level): `n_i = r_i + max_{j∈succ(i)} n_j`.
+///
+/// Computed in reverse topological order, O(V + E).
+pub fn bottom_levels(g: &TaskGraph) -> Vec<Work> {
+    let mut lv = vec![0; g.num_tasks()];
+    for &t in g.topo_order().iter().rev() {
+        let best = g
+            .successors(t)
+            .iter()
+            .map(|e| lv[e.target.index()])
+            .max()
+            .unwrap_or(0);
+        lv[t.index()] = g.load(t) + best;
+    }
+    lv
+}
+
+/// Bottom levels including edge communication weights on the path:
+/// `n_i = r_i + max_j (w_ij + n_j)`.
+///
+/// Not used by the paper's cost function (which prices communication via
+/// eq. 4 instead), but useful for communication-aware list heuristics.
+pub fn bottom_levels_with_comm(g: &TaskGraph) -> Vec<Work> {
+    let mut lv = vec![0; g.num_tasks()];
+    for &t in g.topo_order().iter().rev() {
+        let best = g
+            .successors(t)
+            .iter()
+            .map(|e| e.weight + lv[e.target.index()])
+            .max()
+            .unwrap_or(0);
+        lv[t.index()] = g.load(t) + best;
+    }
+    lv
+}
+
+/// Top levels: longest-path execution time from any root up to, but not
+/// including, the task itself (its earliest possible start with unlimited
+/// processors and free communication).
+pub fn top_levels(g: &TaskGraph) -> Vec<Work> {
+    let mut lv = vec![0; g.num_tasks()];
+    for &t in g.topo_order() {
+        let best = g
+            .predecessors(t)
+            .iter()
+            .map(|e| lv[e.target.index()] + g.load(e.target))
+            .max()
+            .unwrap_or(0);
+        lv[t.index()] = best;
+    }
+    lv
+}
+
+/// Co-levels (hop depth): number of edges on the longest path from a root.
+/// Layer 0 holds the roots.
+pub fn co_levels(g: &TaskGraph) -> Vec<u32> {
+    let mut lv = vec![0u32; g.num_tasks()];
+    for &t in g.topo_order() {
+        let best = g
+            .predecessors(t)
+            .iter()
+            .map(|e| lv[e.target.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        lv[t.index()] = best;
+    }
+    lv
+}
+
+/// Groups tasks by co-level: `result[d]` holds every task at hop depth `d`,
+/// sorted by id. The ASAP layering of the DAG.
+pub fn layers(g: &TaskGraph) -> Vec<Vec<TaskId>> {
+    let depth = co_levels(g);
+    let max_d = depth.iter().copied().max().unwrap_or(0) as usize;
+    let mut out = vec![Vec::new(); max_d + 1];
+    for t in g.tasks() {
+        out[depth[t.index()] as usize].push(t);
+    }
+    out
+}
+
+/// Latest start times such that the schedule-length bound `cp` is met
+/// (ALAP schedule with unlimited processors, no communication).
+///
+/// `alap[i] = cp − bottom_level[i]`.
+pub fn alap_starts(g: &TaskGraph) -> Vec<Work> {
+    let bl = bottom_levels(g);
+    let cp = bl.iter().copied().max().unwrap_or(0);
+    bl.iter().map(|&l| cp - l).collect()
+}
+
+/// Slack per task: latest start minus earliest start. Zero slack means the
+/// task lies on a critical path.
+pub fn slacks(g: &TaskGraph) -> Vec<Work> {
+    let asap = top_levels(g);
+    let alap = alap_starts(g);
+    asap.iter().zip(&alap).map(|(&a, &l)| l - a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+
+    /// a(10) -> b(20) -> d(40); a -> c(30) -> d, comm weights 1..4
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(10);
+        let t1 = b.add_task(20);
+        let t2 = b.add_task(30);
+        let d = b.add_task(40);
+        b.add_edge(a, t1, 1).unwrap();
+        b.add_edge(a, t2, 2).unwrap();
+        b.add_edge(t1, d, 3).unwrap();
+        b.add_edge(t2, d, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bottom_levels_diamond() {
+        let g = diamond();
+        // d: 40; b: 20+40=60; c: 30+40=70; a: 10+70=80.
+        assert_eq!(bottom_levels(&g), vec![80, 60, 70, 40]);
+    }
+
+    #[test]
+    fn bottom_levels_with_comm_diamond() {
+        let g = diamond();
+        // d: 40; b: 20+3+40=63; c: 30+4+40=74; a: 10+max(1+63, 2+74)=86.
+        assert_eq!(bottom_levels_with_comm(&g), vec![86, 63, 74, 40]);
+    }
+
+    #[test]
+    fn top_levels_diamond() {
+        let g = diamond();
+        // a: 0; b: 10; c: 10; d: max(10+20, 10+30)=40.
+        assert_eq!(top_levels(&g), vec![0, 10, 10, 40]);
+    }
+
+    #[test]
+    fn co_levels_and_layers() {
+        let g = diamond();
+        assert_eq!(co_levels(&g), vec![0, 1, 1, 2]);
+        let ls = layers(&g);
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls[0].len(), 1);
+        assert_eq!(ls[1].len(), 2);
+        assert_eq!(ls[2].len(), 1);
+    }
+
+    #[test]
+    fn alap_and_slack() {
+        let g = diamond();
+        // cp = 80. alap = 80 - bl = [0, 20, 10, 40]; asap = [0,10,10,40].
+        assert_eq!(alap_starts(&g), vec![0, 20, 10, 40]);
+        assert_eq!(slacks(&g), vec![0, 10, 0, 0]);
+    }
+
+    #[test]
+    fn chain_levels_accumulate() {
+        let mut b = TaskGraphBuilder::new();
+        let ids: Vec<_> = (0..5).map(|_| b.add_task(7)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 0).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(bottom_levels(&g), vec![35, 28, 21, 14, 7]);
+        assert_eq!(top_levels(&g), vec![0, 7, 14, 21, 28]);
+        assert!(slacks(&g).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn independent_tasks_levels_equal_loads() {
+        let mut b = TaskGraphBuilder::new();
+        for i in 1..=4 {
+            b.add_task(i * 10);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(bottom_levels(&g), vec![10, 20, 30, 40]);
+        assert_eq!(top_levels(&g), vec![0, 0, 0, 0]);
+    }
+}

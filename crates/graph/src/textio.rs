@@ -1,0 +1,169 @@
+//! Plain-text task-graph format (`.tg`), round-trippable.
+//!
+//! ```text
+//! # comment lines start with '#'
+//! task <id> <load_ns> [name]
+//! edge <from> <to> <weight_ns>
+//! ```
+//!
+//! Task ids must be dense `0..n` and appear before any edge that uses
+//! them. The format exists so experiments can persist exact instances
+//! (integer nanoseconds — no float drift).
+
+use std::fmt::Write as _;
+
+use crate::builder::TaskGraphBuilder;
+use crate::dag::TaskGraph;
+use crate::error::GraphError;
+use crate::ids::TaskId;
+
+/// Serializes `g` to the `.tg` text format.
+pub fn to_text(g: &TaskGraph) -> String {
+    let mut out = String::new();
+    writeln!(out, "# annealsched taskgraph: {} tasks, {} edges", g.num_tasks(), g.num_edges())
+        .unwrap();
+    for t in g.tasks() {
+        let name = g.name(t);
+        if name == format!("t{}", t.index()) {
+            writeln!(out, "task {} {}", t.index(), g.load(t)).unwrap();
+        } else {
+            writeln!(out, "task {} {} {}", t.index(), g.load(t), name).unwrap();
+        }
+    }
+    for (a, b, w) in g.edges() {
+        writeln!(out, "edge {} {} {}", a.index(), b.index(), w).unwrap();
+    }
+    out
+}
+
+/// Parses the `.tg` text format produced by [`to_text`].
+pub fn from_text(text: &str) -> Result<TaskGraph, GraphError> {
+    let mut b = TaskGraphBuilder::new();
+    let mut expected_id = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse_err = |msg: &str| GraphError::Parse {
+            line: lineno,
+            msg: msg.to_string(),
+        };
+        match parts.next() {
+            Some("task") => {
+                let id: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err("missing task id"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad task id"))?;
+                if id != expected_id {
+                    return Err(parse_err(&format!(
+                        "task ids must be dense and in order (expected {expected_id}, got {id})"
+                    )));
+                }
+                expected_id += 1;
+                let load: u64 = parts
+                    .next()
+                    .ok_or_else(|| parse_err("missing load"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad load"))?;
+                let rest: Vec<&str> = parts.collect();
+                if rest.is_empty() {
+                    b.add_task(load);
+                } else {
+                    b.add_named_task(load, rest.join(" "));
+                }
+            }
+            Some("edge") => {
+                let from: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err("missing edge source"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad edge source"))?;
+                let to: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err("missing edge target"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad edge target"))?;
+                let w: u64 = parts
+                    .next()
+                    .ok_or_else(|| parse_err("missing edge weight"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad edge weight"))?;
+                if parts.next().is_some() {
+                    return Err(parse_err("trailing tokens after edge"));
+                }
+                b.add_edge(TaskId::from_index(from), TaskId::from_index(to), w)?;
+            }
+            Some(tok) => return Err(parse_err(&format!("unknown directive '{tok}'"))),
+            None => unreachable!("blank lines filtered above"),
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+
+    fn sample() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_named_task(1_000, "alpha task");
+        let x = b.add_task(2_000);
+        let c = b.add_task(3_000);
+        b.add_edge(a, x, 10).unwrap();
+        b.add_edge(a, c, 20).unwrap();
+        b.add_edge(x, c, 30).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let text = to_text(&g);
+        let h = from_text(&text).unwrap();
+        assert_eq!(h.num_tasks(), g.num_tasks());
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert_eq!(h.loads(), g.loads());
+        assert_eq!(h.name(TaskId::from_index(0)), "alpha task");
+        let eg: Vec<_> = g.edges().collect();
+        let eh: Vec<_> = h.edges().collect();
+        assert_eq!(eg, eh);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hi\n\ntask 0 5\n   \ntask 1 6\nedge 0 1 7\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.edge_weight(TaskId::from_index(0), TaskId::from_index(1)), Some(7));
+    }
+
+    #[test]
+    fn rejects_sparse_ids() {
+        let err = from_text("task 1 5\n").unwrap_err();
+        match err {
+            GraphError::Parse { line: 1, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(from_text("task x 5\n").is_err());
+        assert!(from_text("task 0\n").is_err());
+        assert!(from_text("frob 0 1\n").is_err());
+        assert!(from_text("task 0 5\ntask 1 5\nedge 0 1\n").is_err());
+        assert!(from_text("task 0 5\ntask 1 5\nedge 0 1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn propagates_graph_errors() {
+        // edge to unknown task
+        let err = from_text("task 0 5\nedge 0 3 1\n").unwrap_err();
+        assert_eq!(err, GraphError::UnknownTask(TaskId::from_index(3)));
+    }
+}

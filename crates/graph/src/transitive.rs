@@ -1,0 +1,174 @@
+//! Transitive closure and reduction.
+//!
+//! The closure answers "could data ever flow `a ⇝ b`?" in O(1) after an
+//! O(V·E/64) bitset sweep; the reduction strips redundant precedence
+//! edges (useful when comparing generator output against minimal forms).
+
+use crate::builder::TaskGraphBuilder;
+use crate::dag::TaskGraph;
+use crate::ids::TaskId;
+use crate::traversal::TaskSet;
+
+/// Dense transitive closure: `closure.reaches(a, b)` is `true` iff a
+/// directed path `a ⇝ b` exists (`a == b` counts as reachable).
+#[derive(Debug, Clone)]
+pub struct Closure {
+    rows: Vec<TaskSet>,
+}
+
+impl Closure {
+    /// Builds the closure of `g` by sweeping reverse topological order.
+    pub fn build(g: &TaskGraph) -> Self {
+        let n = g.num_tasks();
+        let mut rows: Vec<TaskSet> = (0..n).map(|_| TaskSet::new(n)).collect();
+        for &t in g.topo_order().iter().rev() {
+            // own bit
+            rows[t.index()].insert(t);
+            // union of successors' rows
+            let succ: Vec<TaskId> = g.successors(t).iter().map(|e| e.target).collect();
+            for s in succ {
+                let (a, b) = split_two(&mut rows, t.index(), s.index());
+                a.union_with(b);
+            }
+        }
+        Closure { rows }
+    }
+
+    /// `true` iff `a ⇝ b` (including `a == b`).
+    pub fn reaches(&self, a: TaskId, b: TaskId) -> bool {
+        self.rows[a.index()].contains(b)
+    }
+
+    /// Number of reachable tasks from `a` (including itself).
+    pub fn reachable_count(&self, a: TaskId) -> usize {
+        self.rows[a.index()].count()
+    }
+}
+
+/// Mutably borrows rows `i` and `j` (`i != j`) simultaneously.
+fn split_two(rows: &mut [TaskSet], i: usize, j: usize) -> (&mut TaskSet, &TaskSet) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = rows.split_at_mut(j);
+        (&mut lo[i], &hi[0])
+    } else {
+        let (lo, hi) = rows.split_at_mut(i);
+        (&mut hi[0], &lo[j])
+    }
+}
+
+/// Returns a copy of `g` with every transitively-redundant edge removed:
+/// edge `a -> b` is dropped when another path `a ⇝ b` of length ≥ 2
+/// exists. Loads, names and remaining edge weights are preserved.
+pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
+    let closure = Closure::build(g);
+    let mut b = TaskGraphBuilder::with_capacity(g.num_tasks(), g.num_edges());
+    for t in g.tasks() {
+        b.add_named_task(g.load(t), g.name(t).to_string());
+    }
+    for (from, to, w) in g.edges() {
+        // Redundant iff some other successor of `from` reaches `to`.
+        let redundant = g
+            .successors(from)
+            .iter()
+            .any(|e| e.target != to && closure.reaches(e.target, to));
+        if !redundant {
+            b.add_edge(from, to, w).unwrap();
+        }
+    }
+    b.build().expect("reduction of a DAG is a DAG")
+}
+
+/// Counts edges that a transitive reduction would remove.
+pub fn redundant_edge_count(g: &TaskGraph) -> usize {
+    g.num_edges() - transitive_reduction(g).num_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    /// a -> b -> c plus shortcut a -> c.
+    fn shortcut() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1);
+        let x = b.add_task(1);
+        let c = b.add_task(1);
+        b.add_edge(a, x, 10).unwrap();
+        b.add_edge(x, c, 20).unwrap();
+        b.add_edge(a, c, 30).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn closure_reaches() {
+        let g = shortcut();
+        let c = Closure::build(&g);
+        assert!(c.reaches(t(0), t(2)));
+        assert!(c.reaches(t(0), t(0)));
+        assert!(!c.reaches(t(2), t(0)));
+        assert_eq!(c.reachable_count(t(0)), 3);
+        assert_eq!(c.reachable_count(t(2)), 1);
+    }
+
+    #[test]
+    fn reduction_removes_shortcut() {
+        let g = shortcut();
+        assert_eq!(redundant_edge_count(&g), 1);
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), 2);
+        assert!(r.has_edge(t(0), t(1)));
+        assert!(r.has_edge(t(1), t(2)));
+        assert!(!r.has_edge(t(0), t(2)));
+        // loads and names preserved
+        assert_eq!(r.load(t(1)), 1);
+        assert_eq!(r.name(t(0)), "t0");
+    }
+
+    #[test]
+    fn reduction_preserves_reachability() {
+        let g = shortcut();
+        let r = transitive_reduction(&g);
+        let cg = Closure::build(&g);
+        let cr = Closure::build(&r);
+        for a in g.tasks() {
+            for b in g.tasks() {
+                assert_eq!(cg.reaches(a, b), cr.reaches(a, b), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_of_minimal_graph_is_identity() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1);
+        let x = b.add_task(1);
+        let c = b.add_task(1);
+        b.add_edge(a, x, 1).unwrap();
+        b.add_edge(x, c, 2).unwrap();
+        let g = b.build().unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(redundant_edge_count(&g), 0);
+    }
+
+    #[test]
+    fn diamond_has_no_redundant_edges() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1);
+        let x = b.add_task(1);
+        let y = b.add_task(1);
+        let d = b.add_task(1);
+        b.add_edge(a, x, 0).unwrap();
+        b.add_edge(a, y, 0).unwrap();
+        b.add_edge(x, d, 0).unwrap();
+        b.add_edge(y, d, 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(redundant_edge_count(&g), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Traversal helpers: reachability, ancestors and descendants.
+//!
+//! Backed by a compact bitset so transitive queries over the ≤ a-few-
+//! thousand-task graphs this project handles stay allocation-light.
+
+use crate::dag::TaskGraph;
+use crate::ids::TaskId;
+
+/// A fixed-size bitset over task ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl TaskSet {
+    /// An empty set able to hold `n` tasks.
+    pub fn new(n: usize) -> Self {
+        TaskSet {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// Capacity in tasks.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `t`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, t: TaskId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `t`; returns `true` if it was present.
+    pub fn remove(&mut self, t: TaskId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: TaskId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union_with(&mut self, other: &TaskSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(TaskId::from_index(wi * 64 + b))
+                }
+            })
+        })
+    }
+}
+
+/// All tasks reachable from `start` by following successor edges,
+/// *excluding* `start` itself.
+pub fn descendants(g: &TaskGraph, start: TaskId) -> TaskSet {
+    let mut seen = TaskSet::new(g.num_tasks());
+    let mut stack = vec![start];
+    while let Some(t) = stack.pop() {
+        for e in g.successors(t) {
+            if seen.insert(e.target) {
+                stack.push(e.target);
+            }
+        }
+    }
+    seen
+}
+
+/// All tasks that reach `start` by following predecessor edges,
+/// *excluding* `start` itself.
+pub fn ancestors(g: &TaskGraph, start: TaskId) -> TaskSet {
+    let mut seen = TaskSet::new(g.num_tasks());
+    let mut stack = vec![start];
+    while let Some(t) = stack.pop() {
+        for e in g.predecessors(t) {
+            if seen.insert(e.target) {
+                stack.push(e.target);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` if there is a directed path `from ⇝ to` (including `from == to`).
+pub fn reaches(g: &TaskGraph, from: TaskId, to: TaskId) -> bool {
+    from == to || descendants(g, from).contains(to)
+}
+
+/// Depth-first preorder from `start`, following successors; deterministic
+/// (children visited in id order).
+pub fn dfs_preorder(g: &TaskGraph, start: TaskId) -> Vec<TaskId> {
+    let mut seen = TaskSet::new(g.num_tasks());
+    seen.insert(start);
+    let mut out = Vec::new();
+    let mut stack = vec![start];
+    while let Some(t) = stack.pop() {
+        out.push(t);
+        // Push in reverse so the smallest-id child pops first.
+        for e in g.successors(t).iter().rev() {
+            if seen.insert(e.target) {
+                stack.push(e.target);
+            }
+        }
+    }
+    out
+}
+
+/// Breadth-first order from `start`, following successors.
+pub fn bfs_order(g: &TaskGraph, start: TaskId) -> Vec<TaskId> {
+    let mut seen = TaskSet::new(g.num_tasks());
+    seen.insert(start);
+    let mut out = Vec::new();
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(t) = queue.pop_front() {
+        out.push(t);
+        for e in g.successors(t) {
+            if seen.insert(e.target) {
+                queue.push_back(e.target);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(1);
+        let t1 = b.add_task(1);
+        let t2 = b.add_task(1);
+        let d = b.add_task(1);
+        b.add_edge(a, t1, 0).unwrap();
+        b.add_edge(a, t2, 0).unwrap();
+        b.add_edge(t1, d, 0).unwrap();
+        b.add_edge(t2, d, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = TaskSet::new(130);
+        assert_eq!(s.count(), 0);
+        assert!(s.insert(t(0)));
+        assert!(s.insert(t(64)));
+        assert!(s.insert(t(129)));
+        assert!(!s.insert(t(129)));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(t(64)));
+        assert!(!s.contains(t(63)));
+        assert!(s.remove(t(64)));
+        assert!(!s.remove(t(64)));
+        assert_eq!(s.count(), 2);
+        let members: Vec<usize> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(members, vec![0, 129]);
+    }
+
+    #[test]
+    fn bitset_union() {
+        let mut a = TaskSet::new(10);
+        let mut b = TaskSet::new(10);
+        a.insert(t(1));
+        b.insert(t(2));
+        a.union_with(&b);
+        assert!(a.contains(t(1)) && a.contains(t(2)));
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let g = diamond();
+        let d = descendants(&g, t(0));
+        assert_eq!(d.count(), 3);
+        assert!(!d.contains(t(0)));
+        let a = ancestors(&g, t(3));
+        assert_eq!(a.count(), 3);
+        assert!(!a.contains(t(3)));
+        assert_eq!(descendants(&g, t(3)).count(), 0);
+        assert_eq!(ancestors(&g, t(0)).count(), 0);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(reaches(&g, t(0), t(3)));
+        assert!(reaches(&g, t(1), t(3)));
+        assert!(!reaches(&g, t(1), t(2)));
+        assert!(reaches(&g, t(2), t(2)));
+        assert!(!reaches(&g, t(3), t(0)));
+    }
+
+    #[test]
+    fn dfs_preorder_deterministic() {
+        let g = diamond();
+        let order: Vec<usize> = dfs_preorder(&g, t(0)).iter().map(|x| x.index()).collect();
+        assert_eq!(order, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn bfs_order_levels_first() {
+        let g = diamond();
+        let order: Vec<usize> = bfs_order(&g, t(0)).iter().map(|x| x.index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-series ASCII line charts (for the paper's Figure 1).
+
+/// One data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot symbol.
+    pub symbol: char,
+    /// Y values, one per x position.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, symbol: char, values: Vec<f64>) -> Self {
+        Series {
+            label: label.into(),
+            symbol,
+            values,
+        }
+    }
+}
+
+/// An ASCII chart: series share the x axis (sample index) and are
+/// plotted on a character grid with an automatic y range.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    x_label: String,
+    y_label: String,
+}
+
+impl Chart {
+    /// Creates an empty chart of `width × height` plot cells.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "chart too small");
+        Chart {
+            width,
+            height,
+            series: Vec::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Sets axis labels.
+    pub fn with_labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Renders the chart; returns an empty string if no data.
+    pub fn render(&self) -> String {
+        let max_len = self.series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+        if max_len == 0 {
+            return String::new();
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &v in &s.values {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return String::new();
+        }
+        if (hi - lo).abs() < 1e-30 {
+            hi = lo + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        // zero line, when visible
+        if lo < 0.0 && hi > 0.0 {
+            let zr = self.y_to_row(0.0, lo, hi);
+            for c in grid[zr].iter_mut() {
+                *c = '-';
+            }
+        }
+        for s in &self.series {
+            let n = s.values.len();
+            for (i, &v) in s.values.iter().enumerate() {
+                let col = if n <= 1 {
+                    0
+                } else {
+                    i * (self.width - 1) / (n - 1)
+                };
+                let row = self.y_to_row(v, lo, hi);
+                grid[row][col] = s.symbol;
+            }
+        }
+
+        let mut out = String::new();
+        if !self.y_label.is_empty() {
+            out.push_str(&self.y_label);
+            out.push('\n');
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let y_here = hi - (hi - lo) * r as f64 / (self.height - 1) as f64;
+            let label = if r == 0 || r == self.height - 1 || r == (self.height - 1) / 2 {
+                format!("{y_here:>11.2} ")
+            } else {
+                " ".repeat(12)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(12));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("{:>width$}\n", self.x_label, width = 13 + self.width / 2));
+        }
+        // legend
+        for s in &self.series {
+            out.push_str(&format!("{:>12} {} {}\n", "", s.symbol, s.label));
+        }
+        out
+    }
+
+    fn y_to_row(&self, v: f64, lo: f64, hi: f64) -> usize {
+        let frac = (v - lo) / (hi - lo);
+        let r = ((1.0 - frac) * (self.height - 1) as f64).round();
+        (r as usize).min(self.height - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_extremes_on_edge_rows() {
+        let mut c = Chart::new(20, 10);
+        c.add(Series::new("up", '*', vec![0.0, 1.0]));
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // first grid row holds the max (column far right)
+        assert!(lines[0].contains('*'));
+        assert!(lines[9].contains('*'));
+    }
+
+    #[test]
+    fn empty_chart_renders_empty() {
+        let c = Chart::new(20, 10);
+        assert_eq!(c.render(), "");
+    }
+
+    #[test]
+    fn constant_series_handled() {
+        let mut c = Chart::new(20, 10);
+        c.add(Series::new("flat", 'o', vec![5.0; 7]));
+        let s = c.render();
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn zero_line_drawn_when_range_crosses() {
+        let mut c = Chart::new(16, 9);
+        c.add(Series::new("wave", '#', vec![-1.0, 1.0]));
+        let s = c.render();
+        assert!(s.contains("----"));
+    }
+
+    #[test]
+    fn legend_and_labels_present() {
+        let mut c = Chart::new(16, 6).with_labels("iterations", "cost");
+        c.add(Series::new("total", 'T', vec![1.0, 0.5, 0.2]));
+        let s = c.render();
+        assert!(s.contains("cost"));
+        assert!(s.contains("iterations"));
+        assert!(s.contains("T total"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn minimum_size_enforced() {
+        Chart::new(4, 2);
+    }
+}

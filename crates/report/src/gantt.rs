@@ -1,0 +1,183 @@
+//! ASCII Gantt rendering of simulation traces (the paper's Figure 2).
+//!
+//! The paper draws numbered full-height blocks for executing tasks,
+//! half-height blocks above/below the baseline for sending/receiving
+//! and quarter-height blocks for routing. In character cells we use:
+//!
+//! * `█` — computing (the task id is printed at the block start),
+//! * `▀` — paying a send overhead σ,
+//! * `▄` — paying a receive overhead τ,
+//! * `░` — routing a transit message τ,
+//! * `·` — idle.
+
+use anneal_graph::units::as_us;
+use anneal_sim::{Gantt, SpanKind};
+use anneal_topology::ProcId;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct GanttOptions {
+    /// Chart width in character cells.
+    pub width: usize,
+    /// Render only `[t_start, t_end)` (ns); `None` = whole run.
+    pub window: Option<(u64, u64)>,
+    /// Print task ids inside compute blocks.
+    pub task_ids: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 100,
+            window: None,
+            task_ids: true,
+        }
+    }
+}
+
+/// Renders the trace as one row per processor.
+pub fn render_gantt(g: &Gantt, num_procs: usize, opts: &GanttOptions) -> String {
+    let (t0, t1) = opts.window.unwrap_or((0, g.makespan.max(1)));
+    assert!(t1 > t0, "empty time window");
+    let span_ns = t1 - t0;
+    let cell_ns = span_ns.div_ceil(opts.width as u64).max(1);
+    let width = span_ns.div_ceil(cell_ns) as usize;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time {:.1} .. {:.1} us  ({:.2} us/cell)\n",
+        as_us(t0),
+        as_us(t1),
+        cell_ns as f64 / 1_000.0
+    ));
+    for p in 0..num_procs {
+        let proc = ProcId::from_index(p);
+        let mut row = vec!['·'; width];
+        let mut labels: Vec<(usize, String)> = Vec::new();
+        for s in g.proc_spans(proc) {
+            if s.end <= t0 || s.start >= t1 {
+                continue;
+            }
+            let a = s.start.max(t0) - t0;
+            let b = s.end.min(t1) - t0;
+            let ca = (a / cell_ns) as usize;
+            // paint at least one cell for visible nonzero spans
+            let cb = ((b.saturating_sub(1)) / cell_ns) as usize;
+            let ch = match s.kind {
+                SpanKind::Compute => '█',
+                SpanKind::Send => '▀',
+                SpanKind::Receive => '▄',
+                SpanKind::Route => '░',
+            };
+            for c in row.iter_mut().take(cb.min(width - 1) + 1).skip(ca) {
+                *c = ch;
+            }
+            if opts.task_ids && s.kind == SpanKind::Compute {
+                if let Some(t) = s.task {
+                    labels.push((ca, t.index().to_string()));
+                }
+            }
+        }
+        // overlay labels (truncated to the block)
+        for (at, text) in labels {
+            for (i, ch) in text.chars().enumerate() {
+                if at + i < width && row[at + i] == '█' {
+                    row[at + i] = ch;
+                } else {
+                    break;
+                }
+            }
+        }
+        out.push_str(&format!("P{p:<2} "));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    █ compute  ▀ send  ▄ receive  ░ route  · idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::TaskId;
+    use anneal_sim::Span;
+
+    fn sample() -> Gantt {
+        Gantt {
+            spans: vec![
+                Span {
+                    proc: ProcId::from_index(0),
+                    kind: SpanKind::Compute,
+                    start: 0,
+                    end: 50_000,
+                    task: Some(TaskId::from_index(7)),
+                },
+                Span {
+                    proc: ProcId::from_index(0),
+                    kind: SpanKind::Send,
+                    start: 50_000,
+                    end: 57_000,
+                    task: Some(TaskId::from_index(8)),
+                },
+                Span {
+                    proc: ProcId::from_index(1),
+                    kind: SpanKind::Receive,
+                    start: 61_000,
+                    end: 70_000,
+                    task: Some(TaskId::from_index(8)),
+                },
+                Span {
+                    proc: ProcId::from_index(1),
+                    kind: SpanKind::Compute,
+                    start: 70_000,
+                    end: 100_000,
+                    task: Some(TaskId::from_index(8)),
+                },
+            ],
+            makespan: 100_000,
+        }
+    }
+
+    #[test]
+    fn renders_rows_and_legend() {
+        let s = render_gantt(&sample(), 2, &GanttOptions::default());
+        assert!(s.contains("P0 "));
+        assert!(s.contains("P1 "));
+        assert!(s.contains('█'));
+        assert!(s.contains('▀'));
+        assert!(s.contains('▄'));
+        assert!(s.contains("compute"));
+    }
+
+    #[test]
+    fn task_ids_overlaid() {
+        let s = render_gantt(&sample(), 2, &GanttOptions::default());
+        assert!(s.contains('7'));
+        assert!(s.contains('8'));
+    }
+
+    #[test]
+    fn window_crops() {
+        let opts = GanttOptions {
+            window: Some((60_000, 100_000)),
+            ..GanttOptions::default()
+        };
+        let s = render_gantt(&sample(), 2, &opts);
+        // P0's spans all end before the window
+        let p0_line = s.lines().find(|l| l.starts_with("P0")).unwrap();
+        assert!(!p0_line.contains('█'));
+        assert!(!p0_line.contains('▀'));
+        let p1_line = s.lines().find(|l| l.starts_with("P1")).unwrap();
+        assert!(p1_line.contains('▄'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty time window")]
+    fn rejects_empty_window() {
+        let opts = GanttOptions {
+            window: Some((5, 5)),
+            ..GanttOptions::default()
+        };
+        render_gantt(&sample(), 2, &opts);
+    }
+}

@@ -1,0 +1,21 @@
+//! # anneal-report
+//!
+//! Plain-text reporting for the `annealsched` reproduction: ASCII
+//! tables (Tables 1 and 2), multi-series line charts (Figure 1), Gantt
+//! rendering of simulation traces as text and SVG (Figure 2) and a
+//! minimal CSV writer for machine-readable experiment output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chart;
+pub mod csv;
+pub mod gantt;
+pub mod svg;
+pub mod table;
+
+pub use chart::{Chart, Series};
+pub use csv::Csv;
+pub use gantt::render_gantt;
+pub use svg::render_svg;
+pub use table::Table;

@@ -1,0 +1,235 @@
+//! The online-scheduler interface and two reference implementations.
+//!
+//! The simulation engine forms a scheduling *epoch* at time 0 and
+//! whenever processors become idle, exactly as the paper's staged
+//! annealing does (§4.1). The scheduler sees the ready tasks, the idle
+//! processors and the placement history, and returns task→processor
+//! assignments (at most one new task per idle processor; unassigned
+//! tasks carry over to the next epoch).
+
+use anneal_graph::{TaskGraph, TaskId};
+use anneal_topology::{CommParams, ProcId, RouteTable, Topology};
+
+use crate::SimTime;
+
+/// Everything a scheduler may inspect at an epoch.
+#[derive(Debug)]
+pub struct EpochContext<'a> {
+    /// Current simulated time.
+    pub time: SimTime,
+    /// Ready tasks: every predecessor finished, not yet assigned.
+    /// Sorted by task id.
+    pub ready: &'a [TaskId],
+    /// Idle processors (no assigned task), sorted by id.
+    pub idle: &'a [ProcId],
+    /// The program being executed.
+    pub graph: &'a TaskGraph,
+    /// The host architecture.
+    pub topology: &'a Topology,
+    /// Shortest-path routes and distances.
+    pub routes: &'a RouteTable,
+    /// Communication overheads (σ, τ, bandwidth).
+    pub params: &'a CommParams,
+    /// `placement[t]` is the processor a task was assigned to (set for
+    /// finished, running and waiting-assigned tasks).
+    pub placement: &'a [Option<ProcId>],
+    /// `finish[t]` is the completion time of a finished task.
+    pub finish: &'a [Option<SimTime>],
+    /// `true` when the engine delivers messages (with-comm mode).
+    pub comm_enabled: bool,
+}
+
+/// An online scheduler driven by the simulation engine.
+pub trait OnlineScheduler {
+    /// Called at each epoch. Push `(task, processor)` pairs into `out`;
+    /// every task must come from `ctx.ready`, every processor from
+    /// `ctx.idle`, and both must be pairwise distinct. Tasks left out
+    /// simply stay ready for the next epoch.
+    fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+/// Assigns ready tasks (in id order) to idle processors (in id order)
+/// until one side runs out. The simplest progress-guaranteeing policy;
+/// used for engine tests and as a sanity baseline.
+#[derive(Debug, Default, Clone)]
+pub struct GreedyScheduler;
+
+impl OnlineScheduler for GreedyScheduler {
+    fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
+        for (&t, &p) in ctx.ready.iter().zip(ctx.idle.iter()) {
+            out.push((t, p));
+        }
+    }
+
+    fn name(&self) -> &str {
+        "greedy"
+    }
+}
+
+/// Replays a precomputed full mapping: a task is dispatched only when its
+/// designated processor is idle. Useful for evaluating static schedules
+/// (e.g. the branch-and-bound optimum) under the simulator's timing
+/// model.
+#[derive(Debug, Clone)]
+pub struct FixedMapping {
+    mapping: Vec<ProcId>,
+    /// Priority for tie-breaking when several tasks wait for the same
+    /// processor: lower value dispatches first.
+    order: Vec<u64>,
+}
+
+impl FixedMapping {
+    /// Creates a replay scheduler; `mapping[t]` is the processor for task
+    /// `t`. Dispatch ties are broken by task id.
+    pub fn new(mapping: Vec<ProcId>) -> Self {
+        let order = (0..mapping.len() as u64).collect();
+        FixedMapping { mapping, order }
+    }
+
+    /// Sets an explicit dispatch priority (lower first) per task.
+    pub fn with_order(mut self, order: Vec<u64>) -> Self {
+        assert_eq!(order.len(), self.mapping.len());
+        self.order = order;
+        self
+    }
+
+    /// The processor a task is pinned to.
+    pub fn proc_of(&self, t: TaskId) -> ProcId {
+        self.mapping[t.index()]
+    }
+}
+
+impl OnlineScheduler for FixedMapping {
+    fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
+        // For each idle processor pick the waiting ready task with the
+        // lowest dispatch order.
+        for &p in ctx.idle {
+            let best = ctx
+                .ready
+                .iter()
+                .filter(|&&t| self.mapping[t.index()] == p)
+                .filter(|&&t| !out.iter().any(|&(ot, _)| ot == t))
+                .min_by_key(|&&t| (self.order[t.index()], t));
+            if let Some(&t) = best {
+                out.push((t, p));
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "fixed-mapping"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+    fn p(i: usize) -> ProcId {
+        ProcId::from_index(i)
+    }
+
+    fn dummy_ctx_parts() -> (TaskGraph, Topology, RouteTable, CommParams) {
+        let mut b = anneal_graph::TaskGraphBuilder::new();
+        for _ in 0..4 {
+            b.add_task(10);
+        }
+        let g = b.build().unwrap();
+        let topo = anneal_topology::builders::bus(2);
+        let routes = RouteTable::build(&topo).unwrap();
+        (g, topo, routes, CommParams::zero())
+    }
+
+    #[test]
+    fn greedy_pairs_in_order() {
+        let (g, topo, routes, params) = dummy_ctx_parts();
+        let ready = [t(0), t(1), t(2)];
+        let idle = [p(0), p(1)];
+        let placement = vec![None; 4];
+        let finish = vec![None; 4];
+        let ctx = EpochContext {
+            time: 0,
+            ready: &ready,
+            idle: &idle,
+            graph: &g,
+            topology: &topo,
+            routes: &routes,
+            params: &params,
+            placement: &placement,
+            finish: &finish,
+            comm_enabled: false,
+        };
+        let mut out = Vec::new();
+        GreedyScheduler.on_epoch(&ctx, &mut out);
+        assert_eq!(out, vec![(t(0), p(0)), (t(1), p(1))]);
+    }
+
+    #[test]
+    fn fixed_mapping_waits_for_its_proc() {
+        let (g, topo, routes, params) = dummy_ctx_parts();
+        // tasks 0..4 all pinned to P1
+        let fm = FixedMapping::new(vec![p(1); 4]);
+        let ready = [t(2), t(3)];
+        let idle_p0_only = [p(0)];
+        let placement = vec![None; 4];
+        let finish = vec![None; 4];
+        let mut ctx = EpochContext {
+            time: 0,
+            ready: &ready,
+            idle: &idle_p0_only,
+            graph: &g,
+            topology: &topo,
+            routes: &routes,
+            params: &params,
+            placement: &placement,
+            finish: &finish,
+            comm_enabled: false,
+        };
+        let mut fm2 = fm.clone();
+        let mut out = Vec::new();
+        fm2.on_epoch(&ctx, &mut out);
+        assert!(out.is_empty(), "P1 not idle -> nothing dispatched");
+
+        let idle_both = [p(0), p(1)];
+        ctx.idle = &idle_both;
+        out.clear();
+        let mut fm3 = fm.clone();
+        fm3.on_epoch(&ctx, &mut out);
+        assert_eq!(out, vec![(t(2), p(1))], "lowest-id waiting task wins");
+    }
+
+    #[test]
+    fn fixed_mapping_custom_order() {
+        let (g, topo, routes, params) = dummy_ctx_parts();
+        let fm = FixedMapping::new(vec![p(0); 4]).with_order(vec![3, 2, 1, 0]);
+        let ready = [t(0), t(3)];
+        let idle = [p(0)];
+        let placement = vec![None; 4];
+        let finish = vec![None; 4];
+        let ctx = EpochContext {
+            time: 0,
+            ready: &ready,
+            idle: &idle,
+            graph: &g,
+            topology: &topo,
+            routes: &routes,
+            params: &params,
+            placement: &placement,
+            finish: &finish,
+            comm_enabled: false,
+        };
+        let mut out = Vec::new();
+        let mut fm = fm;
+        fm.on_epoch(&ctx, &mut out);
+        assert_eq!(out, vec![(t(3), p(0))]);
+        assert_eq!(fm.proc_of(t(3)), p(0));
+    }
+}

@@ -1,0 +1,150 @@
+//! All-pairs shortest-path distances `d(i, j)`.
+
+use std::collections::VecDeque;
+
+use crate::proc_id::ProcId;
+use crate::topology::Topology;
+
+/// Dense all-pairs hop-distance matrix, built by BFS from each node.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+/// Error: the topology is disconnected, so some distances are undefined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected {
+    /// A pair of mutually unreachable processors.
+    pub pair: (ProcId, ProcId),
+}
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "topology is disconnected: no path between {} and {}",
+            self.pair.0, self.pair.1
+        )
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+impl DistanceMatrix {
+    /// Builds the matrix; errors if the network is disconnected.
+    pub fn build(t: &Topology) -> Result<Self, Disconnected> {
+        let n = t.num_procs();
+        let mut d = vec![u32::MAX; n * n];
+        let mut queue = VecDeque::new();
+        for src in 0..n {
+            let row = &mut d[src * n..(src + 1) * n];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(ProcId::from_index(src));
+            while let Some(u) = queue.pop_front() {
+                let du = row[u.index()];
+                for &v in t.neighbors(u) {
+                    if row[v.index()] == u32::MAX {
+                        row[v.index()] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if let Some(j) = row.iter().position(|&x| x == u32::MAX) {
+                return Err(Disconnected {
+                    pair: (ProcId::from_index(src), ProcId::from_index(j)),
+                });
+            }
+        }
+        Ok(DistanceMatrix { n, d })
+    }
+
+    /// Hop distance `d(a, b)`.
+    #[inline]
+    pub fn get(&self, a: ProcId, b: ProcId) -> u32 {
+        self.d[a.index() * self.n + b.index()]
+    }
+
+    /// Network diameter: maximum pairwise distance.
+    pub fn diameter(&self) -> u32 {
+        self.d.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean distance over ordered pairs `a != b` (0 for a 1-node network).
+    pub fn average(&self) -> f64 {
+        if self.n <= 1 {
+            return 0.0;
+        }
+        let total: u64 = self.d.iter().map(|&x| x as u64).sum();
+        total as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{hypercube, linear, ring};
+
+    fn p(i: usize) -> ProcId {
+        ProcId::from_index(i)
+    }
+
+    #[test]
+    fn linear_distances() {
+        let d = DistanceMatrix::build(&linear(4)).unwrap();
+        assert_eq!(d.get(p(0), p(3)), 3);
+        assert_eq!(d.get(p(2), p(2)), 0);
+        assert_eq!(d.diameter(), 3);
+    }
+
+    #[test]
+    fn symmetry() {
+        let d = DistanceMatrix::build(&hypercube(3)).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(d.get(p(i), p(j)), d.get(p(j), p(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_ring() {
+        let d = DistanceMatrix::build(&ring(7)).unwrap();
+        for i in 0..7 {
+            for j in 0..7 {
+                for k in 0..7 {
+                    assert!(d.get(p(i), p(k)) <= d.get(p(i), p(j)) + d.get(p(j), p(k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn average_distance_complete() {
+        let d = DistanceMatrix::build(&crate::builders::complete(5)).unwrap();
+        assert!((d.average() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let t = Topology::from_edges("split", 4, &[(0, 1), (2, 3)]);
+        let err = DistanceMatrix::build(&t).unwrap_err();
+        assert_eq!(err.pair.0, p(0));
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn single_node() {
+        let t = Topology::from_edges("solo", 1, &[]);
+        let d = DistanceMatrix::build(&t).unwrap();
+        assert_eq!(d.diameter(), 0);
+        assert_eq!(d.average(), 0.0);
+    }
+}

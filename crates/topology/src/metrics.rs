@@ -1,0 +1,104 @@
+//! Summary statistics of a topology.
+
+use crate::distance::{Disconnected, DistanceMatrix};
+use crate::topology::Topology;
+
+/// Structural summary of an interconnection network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyMetrics {
+    /// Number of processors.
+    pub procs: usize,
+    /// Number of undirected links.
+    pub links: usize,
+    /// Number of contention channels.
+    pub channels: usize,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Network diameter (hops).
+    pub diameter: u32,
+    /// Mean pairwise distance (hops).
+    pub avg_distance: f64,
+}
+
+impl TopologyMetrics {
+    /// Computes metrics; errors if the network is disconnected.
+    pub fn compute(t: &Topology) -> Result<Self, Disconnected> {
+        let d = DistanceMatrix::build(t)?;
+        let degrees: Vec<usize> = t.procs().map(|p| t.degree(p)).collect();
+        Ok(TopologyMetrics {
+            procs: t.num_procs(),
+            links: t.num_links(),
+            channels: t.num_channels(),
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            diameter: d.diameter(),
+            avg_distance: d.average(),
+        })
+    }
+}
+
+impl std::fmt::Display for TopologyMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} procs, {} links ({} channels), degree {}..{}, diameter {}, avg dist {:.2}",
+            self.procs,
+            self.links,
+            self.channels,
+            self.min_degree,
+            self.max_degree,
+            self.diameter,
+            self.avg_distance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{hypercube, ring, shared_bus, star};
+
+    #[test]
+    fn hypercube_metrics() {
+        let m = TopologyMetrics::compute(&hypercube(3)).unwrap();
+        assert_eq!(m.procs, 8);
+        assert_eq!(m.links, 12);
+        assert_eq!(m.min_degree, 3);
+        assert_eq!(m.max_degree, 3);
+        assert_eq!(m.diameter, 3);
+        // avg distance of 3-cube: sum_{k=1..3} k*C(3,k)=1*3+2*3+3*1=12 over 7 peers
+        assert!((m.avg_distance - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring9_metrics() {
+        let m = TopologyMetrics::compute(&ring(9)).unwrap();
+        assert_eq!(m.diameter, 4);
+        assert_eq!(m.links, 9);
+        // distances from any node: 1,1,2,2,3,3,4,4 -> avg 20/8 = 2.5
+        assert!((m.avg_distance - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_degree_spread() {
+        let m = TopologyMetrics::compute(&star(8)).unwrap();
+        assert_eq!(m.min_degree, 1);
+        assert_eq!(m.max_degree, 7);
+    }
+
+    #[test]
+    fn shared_bus_channels() {
+        let m = TopologyMetrics::compute(&shared_bus(4)).unwrap();
+        assert_eq!(m.links, 6);
+        assert_eq!(m.channels, 1);
+    }
+
+    #[test]
+    fn display_summary() {
+        let s = TopologyMetrics::compute(&ring(5)).unwrap().to_string();
+        assert!(s.contains("5 procs"));
+        assert!(s.contains("diameter 2"));
+    }
+}

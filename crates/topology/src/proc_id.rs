@@ -1,0 +1,68 @@
+//! Typed processor identifier.
+
+use std::fmt;
+
+/// Identifier of a processor `p_i` in a [`crate::Topology`].
+///
+/// Dense indices `0..num_procs`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// Creates a processor id from a raw index.
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        ProcId(i as u32)
+    }
+
+    /// Dense index of this processor.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<ProcId> for usize {
+    #[inline]
+    fn from(p: ProcId) -> usize {
+        p.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = ProcId::from_index(5);
+        assert_eq!(p.index(), 5);
+        assert_eq!(p.raw(), 5);
+        assert_eq!(usize::from(p), 5);
+        assert_eq!(p.to_string(), "P5");
+        assert_eq!(format!("{p:?}"), "P5");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ProcId::from_index(0) < ProcId::from_index(1));
+    }
+}

@@ -1,0 +1,235 @@
+//! The interconnection network `HC = {P, L}`.
+
+use crate::proc_id::ProcId;
+
+/// Identifier of a physical communication channel.
+///
+/// For point-to-point networks every undirected link `{a, b}` is its own
+/// channel; a shared bus maps *every* processor pair onto one channel.
+/// The simulator serializes messages per channel ("links … can carry only
+/// one message at a time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u32);
+
+/// A multicomputer interconnection network.
+///
+/// Stores the symmetric adjacency matrix `L`, per-processor neighbor
+/// lists (sorted by id for deterministic iteration) and the hop → channel
+/// mapping used for contention modelling.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    n: usize,
+    adj: Vec<bool>,            // n*n, row-major
+    neighbors: Vec<Vec<ProcId>>,
+    channel: Vec<u32>,         // n*n, u32::MAX = no channel
+    num_channels: usize,
+}
+
+impl Topology {
+    /// Builds a topology from an undirected edge list over `n` processors.
+    ///
+    /// Each distinct undirected link receives its own channel. Duplicate
+    /// and reversed edge mentions are merged; self-links are rejected.
+    pub fn from_edges(name: impl Into<String>, n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(n >= 1, "topology needs at least one processor");
+        let mut adj = vec![false; n * n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            assert_ne!(a, b, "self-link");
+            adj[a * n + b] = true;
+            adj[b * n + a] = true;
+        }
+        Self::from_adjacency(name, n, adj)
+    }
+
+    /// Builds a topology from a full adjacency matrix (row-major `n*n`).
+    /// The matrix is symmetrized; the diagonal is ignored.
+    pub fn from_adjacency(name: impl Into<String>, n: usize, mut adj: Vec<bool>) -> Self {
+        assert_eq!(adj.len(), n * n, "adjacency matrix size mismatch");
+        for i in 0..n {
+            adj[i * n + i] = false;
+            for j in 0..i {
+                let v = adj[i * n + j] || adj[j * n + i];
+                adj[i * n + j] = v;
+                adj[j * n + i] = v;
+            }
+        }
+        let mut channel = vec![u32::MAX; n * n];
+        let mut next = 0u32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if adj[i * n + j] {
+                    channel[i * n + j] = next;
+                    channel[j * n + i] = next;
+                    next += 1;
+                }
+            }
+        }
+        let neighbors = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| adj[i * n + j])
+                    .map(ProcId::from_index)
+                    .collect()
+            })
+            .collect();
+        Topology {
+            name: name.into(),
+            n,
+            adj,
+            neighbors,
+            channel,
+            num_channels: next as usize,
+        }
+    }
+
+    /// Collapses all channels into a single shared channel (bus
+    /// semantics): every hop contends for the same medium.
+    pub fn with_shared_channel(mut self) -> Self {
+        for c in self.channel.iter_mut() {
+            if *c != u32::MAX {
+                *c = 0;
+            }
+        }
+        self.num_channels = usize::from(self.channel.contains(&0));
+        self
+    }
+
+    /// Human-readable topology name (e.g. `"hypercube(8)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processors `N_p`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct communication channels.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// `true` iff a direct link joins `a` and `b` (`l_ab = 1`).
+    #[inline]
+    pub fn linked(&self, a: ProcId, b: ProcId) -> bool {
+        self.adj[a.index() * self.n + b.index()]
+    }
+
+    /// The channel used by hop `a → b`; `None` if not linked.
+    #[inline]
+    pub fn channel_of(&self, a: ProcId, b: ProcId) -> Option<ChannelId> {
+        let c = self.channel[a.index() * self.n + b.index()];
+        (c != u32::MAX).then_some(ChannelId(c))
+    }
+
+    /// Sorted neighbor list of `p`.
+    #[inline]
+    pub fn neighbors(&self, p: ProcId) -> &[ProcId] {
+        &self.neighbors[p.index()]
+    }
+
+    /// Degree of `p`.
+    #[inline]
+    pub fn degree(&self, p: ProcId) -> usize {
+        self.neighbors[p.index()].len()
+    }
+
+    /// Number of undirected links.
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().filter(|&&x| x).count() / 2
+    }
+
+    /// Iterator over all processor ids.
+    pub fn procs(&self) -> impl ExactSizeIterator<Item = ProcId> + '_ {
+        (0..self.n).map(ProcId::from_index)
+    }
+
+    /// All undirected links as `(low, high)` pairs, sorted.
+    pub fn links(&self) -> Vec<(ProcId, ProcId)> {
+        let mut out = Vec::with_capacity(self.num_links());
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.adj[i * self.n + j] {
+                    out.push((ProcId::from_index(i), ProcId::from_index(j)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcId {
+        ProcId::from_index(i)
+    }
+
+    #[test]
+    fn from_edges_symmetric() {
+        let t = Topology::from_edges("tri", 3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(t.num_procs(), 3);
+        assert_eq!(t.num_links(), 3);
+        assert!(t.linked(p(0), p(1)));
+        assert!(t.linked(p(1), p(0)));
+        assert!(!t.linked(p(0), p(0)));
+        assert_eq!(t.degree(p(0)), 2);
+        assert_eq!(t.neighbors(p(0)), &[p(1), p(2)]);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_merge() {
+        let t = Topology::from_edges("dup", 2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(t.num_links(), 1);
+        assert_eq!(t.num_channels(), 1);
+    }
+
+    #[test]
+    fn channels_unique_per_link() {
+        let t = Topology::from_edges("path", 3, &[(0, 1), (1, 2)]);
+        let c01 = t.channel_of(p(0), p(1)).unwrap();
+        let c12 = t.channel_of(p(1), p(2)).unwrap();
+        assert_ne!(c01, c12);
+        assert_eq!(t.channel_of(p(0), p(1)), t.channel_of(p(1), p(0)));
+        assert_eq!(t.channel_of(p(0), p(2)), None);
+        assert_eq!(t.num_channels(), 2);
+    }
+
+    #[test]
+    fn shared_channel_collapses() {
+        let t = Topology::from_edges("bus", 3, &[(0, 1), (1, 2), (0, 2)]).with_shared_channel();
+        assert_eq!(t.num_channels(), 1);
+        assert_eq!(t.channel_of(p(0), p(1)), t.channel_of(p(1), p(2)));
+    }
+
+    #[test]
+    fn links_listing() {
+        let t = Topology::from_edges("path", 3, &[(1, 2), (0, 1)]);
+        assert_eq!(t.links(), vec![(p(0), p(1)), (p(1), p(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn rejects_self_link() {
+        Topology::from_edges("bad", 2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        Topology::from_edges("bad", 2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn single_proc_topology() {
+        let t = Topology::from_edges("solo", 1, &[]);
+        assert_eq!(t.num_procs(), 1);
+        assert_eq!(t.num_links(), 0);
+        assert_eq!(t.num_channels(), 0);
+    }
+}

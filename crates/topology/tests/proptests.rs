@@ -1,0 +1,100 @@
+//! Property-based tests for the topology substrate.
+
+use anneal_topology::builders::*;
+use anneal_topology::{CommParams, DistanceMatrix, ProcId, RouteTable, Topology};
+use proptest::prelude::*;
+
+/// Strategy: one of the standard topologies with a random size.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1u32..5).prop_map(hypercube),
+        (2usize..12).prop_map(ring),
+        (1usize..10).prop_map(bus),
+        (2usize..10).prop_map(star),
+        (1usize..5, 1usize..5).prop_map(|(w, h)| mesh(w, h)),
+        (2usize..5, 2usize..5).prop_map(|(w, h)| torus(w, h)),
+        (1usize..12).prop_map(binary_tree),
+        (1usize..12).prop_map(linear),
+        (2usize..10).prop_map(shared_bus),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn distances_form_a_metric(t in arb_topology()) {
+        let d = DistanceMatrix::build(&t).unwrap();
+        let n = t.num_procs();
+        for i in 0..n {
+            let a = ProcId::from_index(i);
+            prop_assert_eq!(d.get(a, a), 0);
+            for j in 0..n {
+                let b = ProcId::from_index(j);
+                prop_assert_eq!(d.get(a, b), d.get(b, a));
+                if i != j {
+                    prop_assert!(d.get(a, b) >= 1);
+                    prop_assert_eq!(d.get(a, b) == 1, t.linked(a, b));
+                }
+                for k in 0..n {
+                    let c = ProcId::from_index(k);
+                    prop_assert!(d.get(a, c) <= d.get(a, b) + d.get(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_valid_shortest_paths(t in arb_topology()) {
+        let rt = RouteTable::build(&t).unwrap();
+        for a in t.procs() {
+            for b in t.procs() {
+                let route = rt.route(a, b);
+                prop_assert_eq!(route.len() as u32, rt.distance(a, b) + 1);
+                prop_assert_eq!(route[0], a);
+                prop_assert_eq!(*route.last().unwrap(), b);
+                for w in route.windows(2) {
+                    prop_assert!(t.linked(w[0], w[1]));
+                    prop_assert!(t.channel_of(w[0], w[1]).is_some());
+                }
+                // no repeated node on a shortest path
+                let mut seen: Vec<_> = route.iter().map(|p| p.index()).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), route.len());
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_links(t in arb_topology()) {
+        let sum: usize = t.procs().map(|p| t.degree(p)).sum();
+        prop_assert_eq!(sum, 2 * t.num_links());
+    }
+
+    #[test]
+    fn channels_cover_links(t in arb_topology()) {
+        // every link has a channel; channel count bounded by link count
+        for (a, b) in t.links() {
+            prop_assert!(t.channel_of(a, b).is_some());
+        }
+        prop_assert!(t.num_channels() <= t.num_links().max(1));
+    }
+
+    #[test]
+    fn eq4_cost_monotone_in_distance(w in 0u64..1_000_000, d in 1u32..8) {
+        let p = CommParams::paper();
+        prop_assert!(p.eq4_cost(w, d, false) <= p.eq4_cost(w, d + 1, false));
+        // zero-comm params give zero cost once the weight itself derives
+        // from the free-bandwidth transfer time
+        let z = CommParams::zero();
+        prop_assert_eq!(z.eq4_cost(z.transfer_time(w), d, false), 0);
+    }
+
+    #[test]
+    fn eq4_cost_decomposes(w in 0u64..1_000_000, d in 1u32..8) {
+        let p = CommParams::paper();
+        let c = p.eq4_cost(w, d, false);
+        prop_assert_eq!(c, w * d as u64 + (d as u64 - 1) * p.tau + p.sigma);
+    }
+}

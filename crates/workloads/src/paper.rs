@@ -1,0 +1,88 @@
+//! The four calibrated paper instances.
+//!
+//! Each builder starts from the structural generator and calibrates the
+//! communication weights so the C/C ratio matches Table 1 (durations are
+//! already chosen to match average duration and max speedup by
+//! construction — see each generator's module docs).
+
+use anneal_graph::TaskGraph;
+
+use crate::calibrate::scale_comm_to_cc;
+use crate::fft::{fft_recombine, FftConfig};
+use crate::gauss_jordan::{gauss_jordan, GaussJordanConfig};
+use crate::matmul::{matmul, MatMulConfig};
+use crate::newton_euler::{newton_euler, NewtonEulerConfig};
+
+/// Newton-Euler inverse dynamics: 95 scalar tasks, C/C = 43 %.
+pub fn ne_paper() -> TaskGraph {
+    let g = newton_euler(&NewtonEulerConfig::default());
+    scale_comm_to_cc(&g, 0.430).0
+}
+
+/// Gauss-Jordan solver: 111 vector tasks, C/C = 8.1 %.
+pub fn gj_paper() -> TaskGraph {
+    let g = gauss_jordan(&GaussJordanConfig::default());
+    scale_comm_to_cc(&g, 0.081).0
+}
+
+/// FFT: 73 vector tasks, C/C = 8.8 %.
+pub fn fft_paper() -> TaskGraph {
+    let g = fft_recombine(&FftConfig::default());
+    scale_comm_to_cc(&g, 0.088).0
+}
+
+/// Matrix multiply: 111 vector tasks, C/C = 9.7 %.
+pub fn mm_paper() -> TaskGraph {
+    let g = matmul(&MatMulConfig::default());
+    scale_comm_to_cc(&g, 0.097).0
+}
+
+/// All four paper programs in Table-1 order, with their names.
+pub fn paper_workloads() -> Vec<(&'static str, TaskGraph)> {
+    vec![
+        ("Newton-Euler", ne_paper()),
+        ("Gauss-Jordan", gj_paper()),
+        ("FFT", fft_paper()),
+        ("Matrix Multiply", mm_paper()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{paper_table1, Table1Row};
+
+    #[test]
+    fn task_counts_match_paper_exactly() {
+        let refs = paper_table1();
+        for ((_, g), r) in paper_workloads().iter().zip(&refs) {
+            assert_eq!(g.num_tasks(), r.tasks, "{}", r.program);
+        }
+    }
+
+    #[test]
+    fn calibrated_stats_close_to_table1() {
+        let refs = paper_table1();
+        for ((name, g), r) in paper_workloads().iter().zip(&refs) {
+            let m = Table1Row::measure(*name, g);
+            let dur_dev = Table1Row::deviation_pct(m.avg_duration_us, r.avg_duration_us).abs();
+            let cc_dev = Table1Row::deviation_pct(m.cc_ratio, r.cc_ratio).abs();
+            let comm_dev = Table1Row::deviation_pct(m.avg_comm_us, r.avg_comm_us).abs();
+            let sp_dev = Table1Row::deviation_pct(m.max_speedup, r.max_speedup).abs();
+            assert!(dur_dev < 1.0, "{name} avg duration off by {dur_dev:.2} %");
+            assert!(cc_dev < 1.0, "{name} C/C off by {cc_dev:.2} %");
+            assert!(comm_dev < 3.0, "{name} avg comm off by {comm_dev:.2} %");
+            assert!(sp_dev < 2.0, "{name} max speedup off by {sp_dev:.2} %");
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = ne_paper();
+        let b = ne_paper();
+        assert_eq!(a.loads(), b.loads());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

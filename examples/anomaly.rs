@@ -1,0 +1,47 @@
+//! Graham's multiprocessing anomalies, solved by annealing.
+//!
+//! Graham (1969) showed that list schedules can get *worse* when the
+//! system gets better: more processors, shorter tasks or fewer
+//! precedence constraints. The paper notes its SA scheduler "is able to
+//! optimally solve the Graham list scheduling anomalies" — this example
+//! walks through all four scenarios.
+//!
+//! ```text
+//! cargo run --release --example anomaly
+//! ```
+
+use annealsched::core::anomaly::{anomaly_scenarios, UNIT};
+use annealsched::core::optimal::optimal_makespan;
+use annealsched::prelude::*;
+
+fn main() {
+    println!("Graham 1969: 9 tasks, times (3,2,2,2,4,4,4,4,9), T1<*T9, T4<*T5..T8\n");
+    let cfg = SimConfig {
+        comm_enabled: false,
+        ..SimConfig::default()
+    };
+    for (name, g, procs) in anomaly_scenarios() {
+        let host = bus(procs);
+        // Graham's original list order = task-id order = FIFO priority.
+        let mut fifo = ListScheduler::new(PriorityPolicy::Fifo);
+        let m_list = simulate(&g, &host, &CommParams::zero(), &mut fifo, &cfg)
+            .unwrap()
+            .makespan
+            / UNIT;
+        let mut sa = SaScheduler::new(SaConfig::default());
+        let m_sa = simulate(&g, &host, &CommParams::zero(), &mut sa, &cfg)
+            .unwrap()
+            .makespan
+            / UNIT;
+        let opt = optimal_makespan(&g, procs, 50_000_000).value() / UNIT;
+        println!(
+            "{name:30} list = {m_list:2}   SA = {m_sa:2}   optimal = {opt:2}   {}",
+            if m_sa == opt { "(SA optimal)" } else { "" }
+        );
+    }
+    println!(
+        "\nThe list schedule degrades from 12 to 15/13/16 while SA tracks the optimum —\n\
+         statistical hill climbing is immune to the anomaly because it re-evaluates\n\
+         the whole packet mapping instead of following a fixed priority list."
+    );
+}

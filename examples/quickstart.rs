@@ -1,0 +1,64 @@
+//! Quickstart: build a program graph, schedule it with simulated
+//! annealing on a hypercube, compare against Highest Level First and
+//! print a Gantt chart.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use annealsched::prelude::*;
+use annealsched::report::gantt::{render_gantt, GanttOptions};
+
+fn main() {
+    // A two-stage pipeline: 8 producers feed 4 reducers through a
+    // shuffle, then a final aggregation.
+    let mut b = TaskGraphBuilder::new();
+    let producers: Vec<TaskId> = (0..8)
+        .map(|i| b.add_named_task(us(30.0 + 2.0 * i as f64), format!("produce.{i}")))
+        .collect();
+    let reducers: Vec<TaskId> = (0..4)
+        .map(|i| b.add_named_task(us(50.0), format!("reduce.{i}")))
+        .collect();
+    let sink = b.add_named_task(us(12.0), "aggregate");
+    for (i, &p) in producers.iter().enumerate() {
+        // each producer feeds two reducers
+        b.add_edge(p, reducers[i % 4], us(4.0)).unwrap();
+        b.add_edge(p, reducers[(i + 1) % 4], us(4.0)).unwrap();
+    }
+    for &r in &reducers {
+        b.add_edge(r, sink, us(4.0)).unwrap();
+    }
+    let program = b.build().expect("acyclic");
+
+    println!("program: {}", GraphMetrics::compute(&program));
+    let host = hypercube(3);
+    let params = CommParams::paper();
+
+    // Baseline: Highest Level First.
+    let mut hlf = HlfScheduler::new();
+    let r_hlf = simulate(&program, &host, &params, &mut hlf, &SimConfig::default()).unwrap();
+
+    // Simulated annealing (the paper's staged algorithm).
+    let mut sa = SaScheduler::new(SaConfig::default());
+    let r_sa = simulate(&program, &host, &params, &mut sa, &SimConfig::default()).unwrap();
+    r_sa.audit(&program).expect("valid schedule");
+
+    println!(
+        "HLF: makespan {:8.1} us, speedup {:.2}",
+        r_hlf.makespan_us(),
+        r_hlf.speedup
+    );
+    println!(
+        "SA : makespan {:8.1} us, speedup {:.2}  ({} packets, {:.0} % moves accepted)",
+        r_sa.makespan_us(),
+        r_sa.speedup,
+        sa.stats.packets,
+        sa.stats.acceptance_rate() * 100.0
+    );
+
+    println!("\nSA schedule:");
+    print!(
+        "{}",
+        render_gantt(&r_sa.gantt, host.num_procs(), &GanttOptions::default())
+    );
+}

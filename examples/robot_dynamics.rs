@@ -1,0 +1,57 @@
+//! The paper's flagship workload: Newton-Euler inverse dynamics for
+//! robot control, scheduled on all three evaluation architectures.
+//!
+//! Reproduces the headline observation: without communication SA and
+//! HLF tie, with communication SA wins — most dramatically on the ring,
+//! where HLF's arbitrary placement pays full network distance for the
+//! fine-grained scalar messages.
+//!
+//! ```text
+//! cargo run --release --example robot_dynamics
+//! ```
+
+use annealsched::prelude::*;
+use annealsched::workloads::newton_euler::{newton_euler, NewtonEulerConfig};
+
+fn main() {
+    // The calibrated 6-link paper instance …
+    let paper = ne_paper();
+    println!("paper instance: {}", GraphMetrics::compute(&paper));
+
+    // … and a custom 9-link arm, straight from the generator.
+    let big = newton_euler(&NewtonEulerConfig {
+        links: 9,
+        ..NewtonEulerConfig::default()
+    });
+    println!("9-link arm:     {}\n", GraphMetrics::compute(&big));
+
+    for (label, g) in [("NE (paper, 6 links)", &paper), ("NE (9 links)", &big)] {
+        println!("== {label} ==");
+        for host in paper_architectures() {
+            for comm in [false, true] {
+                let params = if comm {
+                    CommParams::paper()
+                } else {
+                    CommParams::zero()
+                };
+                let cfg = SimConfig {
+                    comm_enabled: comm,
+                    ..SimConfig::default()
+                };
+                let mut hlf = HlfScheduler::new();
+                let rh = simulate(g, &host, &params, &mut hlf, &cfg).unwrap();
+                let mut sa = SaScheduler::new(SaConfig::default());
+                let rs = simulate(g, &host, &params, &mut sa, &cfg).unwrap();
+                println!(
+                    "  {:13} {:9}  SA {:5.2}  HLF {:5.2}  gain {:+6.1} %",
+                    host.name(),
+                    if comm { "with comm" } else { "w/o comm" },
+                    rs.speedup,
+                    rh.speedup,
+                    (rs.speedup / rh.speedup - 1.0) * 100.0,
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,67 @@
+//! Table-1 calibration: the reconstructed workloads must reproduce the
+//! paper's program characteristics.
+
+use annealsched::prelude::*;
+use annealsched::workloads::stats::{paper_table1, Table1Row};
+
+#[test]
+fn task_counts_exact() {
+    let refs = paper_table1();
+    for ((name, g), r) in paper_workloads().iter().zip(&refs) {
+        assert_eq!(g.num_tasks(), r.tasks, "{name}");
+    }
+}
+
+#[test]
+fn all_statistics_within_tolerance() {
+    let refs = paper_table1();
+    for ((name, g), r) in paper_workloads().iter().zip(&refs) {
+        let m = Table1Row::measure(*name, g);
+        let checks = [
+            ("avg duration", m.avg_duration_us, r.avg_duration_us, 1.0),
+            ("avg comm", m.avg_comm_us, r.avg_comm_us, 3.0),
+            ("C/C ratio", m.cc_ratio, r.cc_ratio, 1.0),
+            ("max speedup", m.max_speedup, r.max_speedup, 2.0),
+        ];
+        for (what, measured, reference, tol_pct) in checks {
+            let dev = Table1Row::deviation_pct(measured, reference).abs();
+            assert!(
+                dev <= tol_pct,
+                "{name} {what}: measured {measured:.4} vs paper {reference:.4} ({dev:.2} % off)"
+            );
+        }
+    }
+}
+
+#[test]
+fn structural_sanity() {
+    // NE: 12 levels deep (2 per link), scalar ops.
+    let ne = ne_paper();
+    assert_eq!(annealsched::graph::levels::layers(&ne).len(), 12);
+    // GJ: pivot chain forces 2 levels per stage plus extraction.
+    let gj = gj_paper();
+    assert_eq!(annealsched::graph::levels::layers(&gj).len(), 21);
+    assert_eq!(gj.roots().len(), 1);
+    assert_eq!(gj.leaves().len(), 1);
+    // FFT: three levels, 64 roots, single sink.
+    let fft = fft_paper();
+    assert_eq!(annealsched::graph::levels::layers(&fft).len(), 3);
+    assert_eq!(fft.roots().len(), 64);
+    // MM: distribute -> products -> row gathers.
+    let mm = mm_paper();
+    assert_eq!(annealsched::graph::levels::layers(&mm).len(), 3);
+    assert_eq!(mm.roots().len(), 1);
+    assert_eq!(mm.leaves().len(), 10);
+}
+
+#[test]
+fn workloads_are_schedulable_on_every_paper_architecture() {
+    for (_, g) in paper_workloads() {
+        for host in paper_architectures() {
+            let mut s = HlfScheduler::new();
+            let r = simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default())
+                .unwrap();
+            assert!(r.speedup > 1.0);
+        }
+    }
+}

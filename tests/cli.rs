@@ -1,0 +1,81 @@
+//! CLI smoke tests: the `annealsched` binary schedules built-in
+//! workloads and user `.tg` files end to end.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_annealsched"))
+}
+
+#[test]
+fn schedules_builtin_workload() {
+    let out = bin()
+        .args(["@ne", "--topo", "hypercube:3", "--scheduler", "sa"])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("95 tasks"));
+    assert!(stdout.contains("speedup"));
+    assert!(stdout.contains("simulated-annealing"));
+}
+
+#[test]
+fn schedules_tg_file_with_gantt() {
+    let dir = std::env::temp_dir().join("annealsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.tg");
+    std::fs::write(&path, "task 0 10000\ntask 1 20000\nedge 0 1 4000\n").unwrap();
+    let out = bin()
+        .args([
+            path.to_str().unwrap(),
+            "--topo",
+            "bus:2",
+            "--scheduler",
+            "hlf",
+            "--gantt",
+        ])
+        .output()
+        .expect("run binary");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 tasks"));
+    assert!(stdout.contains("compute")); // gantt legend
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn no_comm_flag_and_alt_schedulers() {
+    for sched in ["hlf", "mct", "fifo", "lpt", "sa"] {
+        let out = bin()
+            .args(["@mm", "--topo", "ring:9", "--scheduler", sched, "--no-comm"])
+            .output()
+            .expect("run binary");
+        assert!(out.status.success(), "{sched}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("0 messages"), "{sched}: {stdout}");
+    }
+}
+
+#[test]
+fn rejects_bad_arguments() {
+    let out = bin().args(["@ne", "--topo", "klein-bottle:4"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn dot_export_writes_file() {
+    let dir = std::env::temp_dir().join("annealsched-cli-dot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot = dir.join("out.dot");
+    let out = bin()
+        .args(["@fft", "--dot", dot.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&dot).unwrap();
+    assert!(text.starts_with("digraph"));
+    let _ = std::fs::remove_dir_all(dir);
+}

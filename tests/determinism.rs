@@ -1,0 +1,84 @@
+//! Reproducibility: the whole pipeline is a pure function of its seeds.
+
+use annealsched::prelude::*;
+
+fn full_run(seed: u64) -> SimResult {
+    let g = ne_paper();
+    let host = hypercube(3);
+    let mut s = SaScheduler::new(SaConfig::default().with_seed(seed));
+    simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap()
+}
+
+#[test]
+fn identical_seeds_identical_schedules() {
+    let a = full_run(7);
+    let b = full_run(7);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.placement, b.placement);
+    assert_eq!(a.start, b.start);
+    assert_eq!(a.finish, b.finish);
+    assert_eq!(a.comm, b.comm);
+    assert_eq!(a.gantt.spans.len(), b.gantt.spans.len());
+}
+
+#[test]
+fn different_seeds_usually_differ() {
+    let a = full_run(1);
+    let b = full_run(2);
+    // placements must differ somewhere (makespan may coincide)
+    assert_ne!(a.placement, b.placement);
+}
+
+#[test]
+fn workload_generation_is_pure() {
+    for _ in 0..3 {
+        let g1 = gj_paper();
+        let g2 = gj_paper();
+        assert_eq!(g1.loads(), g2.loads());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn hlf_is_fully_deterministic() {
+    let g = fft_paper();
+    let host = ring(9);
+    let run = || {
+        let mut s = HlfScheduler::new();
+        simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.placement, b.placement);
+    assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn restarts_are_deterministic_in_parallel() {
+    use annealsched::core::parallel::best_of_restarts;
+    let g = mm_paper();
+    let host = hypercube(3);
+    let out1 = best_of_restarts(
+        &g,
+        &host,
+        &CommParams::paper(),
+        &SaConfig::default(),
+        &[1, 2, 3],
+        &SimConfig::default(),
+    )
+    .unwrap();
+    let out2 = best_of_restarts(
+        &g,
+        &host,
+        &CommParams::paper(),
+        &SaConfig::default(),
+        &[1, 2, 3],
+        &SimConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(out1.all_makespans, out2.all_makespans);
+    assert_eq!(out1.seed, out2.seed);
+}

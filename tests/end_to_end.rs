@@ -1,0 +1,136 @@
+//! End-to-end reproduction assertions: the Table-2 *shape* must hold on
+//! the full pipeline (workload generators → SA/HLF schedulers →
+//! discrete-event simulator).
+
+use annealsched::prelude::*;
+
+fn run(
+    g: &TaskGraph,
+    host: &Topology,
+    comm: bool,
+    sched: &mut dyn OnlineScheduler,
+) -> SimResult {
+    let params = if comm {
+        CommParams::paper()
+    } else {
+        CommParams::zero()
+    };
+    let cfg = SimConfig {
+        comm_enabled: comm,
+        ..SimConfig::default()
+    };
+    let r = simulate(g, host, &params, sched, &cfg).unwrap();
+    r.audit(g).unwrap();
+    r
+}
+
+/// Best-of-grid SA, mirroring the paper's tuned weights.
+fn sa_tuned(g: &TaskGraph, host: &Topology, comm: bool) -> SimResult {
+    let mut best: Option<SimResult> = None;
+    for wb in [0.3, 0.5, 0.7] {
+        for seed in [42, 1, 2] {
+            let mut s = SaScheduler::new(
+                SaConfig::default().with_balance_weight(wb).with_seed(seed),
+            );
+            let r = run(g, host, comm, &mut s);
+            if best.as_ref().is_none_or(|b| r.makespan < b.makespan) {
+                best = Some(r);
+            }
+        }
+    }
+    best.unwrap()
+}
+
+#[test]
+fn without_comm_sa_matches_hlf_everywhere() {
+    for (name, g) in paper_workloads() {
+        for host in paper_architectures() {
+            let rh = run(&g, &host, false, &mut HlfScheduler::new());
+            let rs = sa_tuned(&g, &host, false);
+            // The paper: identical or slightly better for SA. Allow SA
+            // to be at most 2 % worse (stochastic), never better than
+            // the critical-path bound.
+            assert!(
+                rs.speedup >= rh.speedup * 0.98,
+                "{name}/{}: SA {:.3} vs HLF {:.3}",
+                host.name(),
+                rs.speedup,
+                rh.speedup
+            );
+        }
+    }
+}
+
+#[test]
+fn with_comm_sa_beats_or_ties_hlf_everywhere() {
+    for (name, g) in paper_workloads() {
+        for host in paper_architectures() {
+            let rh = run(&g, &host, true, &mut HlfScheduler::new());
+            let rs = sa_tuned(&g, &host, true);
+            assert!(
+                rs.speedup >= rh.speedup * 0.995,
+                "{name}/{}: SA {:.3} vs HLF {:.3}",
+                host.name(),
+                rs.speedup,
+                rh.speedup
+            );
+        }
+    }
+}
+
+#[test]
+fn newton_euler_ring_shows_the_headline_gain() {
+    // The paper's flagship cell: +52.8 % on the ring. Require > 15 %.
+    let g = ne_paper();
+    let host = ring(9);
+    let rh = run(&g, &host, true, &mut HlfScheduler::new());
+    let rs = sa_tuned(&g, &host, true);
+    let gain = rs.speedup / rh.speedup - 1.0;
+    assert!(gain > 0.15, "NE/ring gain only {:.1} %", gain * 100.0);
+}
+
+#[test]
+fn gains_grow_with_comm_intensity() {
+    // NE (C/C 43 %) must benefit more from SA than MM (C/C ~10 %) on
+    // the hypercube — communication awareness matters most where
+    // communication dominates.
+    let host = hypercube(3);
+    let ne = ne_paper();
+    let mm = mm_paper();
+    let gain = |g: &TaskGraph| {
+        let rh = run(g, &host, true, &mut HlfScheduler::new());
+        let rs = sa_tuned(g, &host, true);
+        rs.speedup / rh.speedup
+    };
+    assert!(gain(&ne) > gain(&mm));
+}
+
+#[test]
+fn comm_always_hurts_absolute_speedup() {
+    for (name, g) in paper_workloads() {
+        for host in paper_architectures() {
+            let wo = sa_tuned(&g, &host, false);
+            let with = sa_tuned(&g, &host, true);
+            assert!(
+                with.speedup < wo.speedup,
+                "{name}/{}: with-comm {:.2} not below w/o-comm {:.2}",
+                host.name(),
+                with.speedup,
+                wo.speedup
+            );
+        }
+    }
+}
+
+#[test]
+fn makespan_bounds_hold_on_the_full_grid() {
+    for (_, g) in paper_workloads() {
+        let cp = critical_path_length(&g);
+        for host in paper_architectures() {
+            let r = sa_tuned(&g, &host, true);
+            assert!(r.makespan >= cp);
+            assert!(r.makespan >= g.total_work() / host.num_procs() as u64);
+            assert_eq!(r.packets.assigned, g.num_tasks() as u64);
+        }
+    }
+}

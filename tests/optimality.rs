@@ -1,0 +1,71 @@
+//! SA vs the exact optimum (no communication): the Graham-anomaly claim
+//! and a random-instance closeness bound.
+
+use annealsched::core::anomaly::{anomaly_scenarios, UNIT};
+use annealsched::core::optimal::{optimal_makespan, OptimalResult};
+use annealsched::prelude::*;
+use annealsched::workloads::random::Population;
+
+fn sa_makespan(g: &TaskGraph, procs: usize, seed: u64) -> u64 {
+    let host = bus(procs);
+    let cfg = SimConfig {
+        comm_enabled: false,
+        ..SimConfig::default()
+    };
+    let mut s = SaScheduler::new(SaConfig::default().with_seed(seed));
+    simulate(g, &host, &CommParams::zero(), &mut s, &cfg)
+        .unwrap()
+        .makespan
+}
+
+#[test]
+fn sa_solves_all_graham_anomalies_optimally() {
+    for (name, g, procs) in anomaly_scenarios() {
+        let opt = optimal_makespan(&g, procs, 50_000_000);
+        assert!(opt.is_exact(), "{name}: optimum not proven");
+        let m = sa_makespan(&g, procs, 42);
+        assert_eq!(m, opt.value(), "{name}: SA {m} != optimal {}", opt.value());
+    }
+}
+
+#[test]
+fn graham_reference_values() {
+    let expect: [(usize, u64); 4] = [(0, 12), (1, 12), (2, 10), (3, 12)];
+    let scenarios = anomaly_scenarios();
+    for (i, units) in expect {
+        let (_, g, procs) = &scenarios[i];
+        assert_eq!(
+            optimal_makespan(g, *procs, 50_000_000),
+            OptimalResult::Exact(units * UNIT)
+        );
+    }
+}
+
+#[test]
+fn sa_stays_close_to_optimal_on_random_instances() {
+    let pop = Population::survey_small(555, 12);
+    let mut worst: f64 = 1.0;
+    for (i, g) in pop.instances().enumerate() {
+        let opt = optimal_makespan(&g, 3, 20_000_000);
+        let m = sa_makespan(&g, 3, i as u64);
+        assert!(m >= opt.value());
+        if opt.is_exact() {
+            worst = worst.max(m as f64 / opt.value() as f64);
+        }
+    }
+    // The paper cites list schedules within 5 % of optimal on random
+    // graphs; SA should do about as well. Allow 8 % worst-case slack.
+    assert!(worst <= 1.08, "worst SA/optimal ratio {worst}");
+}
+
+#[test]
+fn optimal_solver_agrees_with_critical_path_on_wide_machines() {
+    let pop = Population::survey_small(77, 6);
+    for g in pop.instances() {
+        // With as many processors as tasks the optimum is the critical
+        // path (no communication).
+        let opt = optimal_makespan(&g, g.num_tasks(), 50_000_000);
+        assert!(opt.is_exact());
+        assert_eq!(opt.value(), critical_path_length(&g));
+    }
+}

@@ -1,0 +1,101 @@
+//! Schedule-validity audits across the whole evaluation grid and a
+//! battery of random programs: precedence, exclusivity, conservation.
+
+use annealsched::prelude::*;
+use annealsched::graph::generate::{layered_random, LayeredConfig, Range};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn paper_grid_audits_clean() {
+    for (_, g) in paper_workloads() {
+        for host in paper_architectures() {
+            for comm in [false, true] {
+                let params = if comm {
+                    CommParams::paper()
+                } else {
+                    CommParams::zero()
+                };
+                let cfg = SimConfig {
+                    comm_enabled: comm,
+                    ..SimConfig::default()
+                };
+                let mut hlf = HlfScheduler::new();
+                simulate(&g, &host, &params, &mut hlf, &cfg)
+                    .unwrap()
+                    .audit(&g)
+                    .unwrap();
+                let mut sa = SaScheduler::new(SaConfig::default());
+                simulate(&g, &host, &params, &mut sa, &cfg)
+                    .unwrap()
+                    .audit(&g)
+                    .unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn random_programs_on_random_architectures() {
+    let hosts = [
+        hypercube(2),
+        hypercube(3),
+        ring(5),
+        star(6),
+        mesh(3, 2),
+        shared_bus(4),
+        linear(3),
+        torus(3, 3),
+    ];
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = layered_random(
+            &LayeredConfig {
+                layers: 5,
+                width: 7,
+                edge_prob: 0.35,
+                load: Range::new(us(2.0), us(80.0)),
+                comm: Range::new(0, us(12.0)),
+            },
+            &mut rng,
+        );
+        let host = &hosts[seed as usize % hosts.len()];
+        let mut sa = SaScheduler::new(SaConfig::default().with_seed(seed));
+        let r = simulate(&g, host, &CommParams::paper(), &mut sa, &SimConfig::default()).unwrap();
+        r.audit(&g).unwrap();
+        // every task placed on a real processor
+        assert!(r.placement.iter().all(|p| p.index() < host.num_procs()));
+        // busy time conservation: compute part equals total work
+        assert_eq!(r.compute_ns(), g.total_work());
+    }
+}
+
+#[test]
+fn list_policies_audit_clean() {
+    let g = gj_paper();
+    let host = hypercube(3);
+    for policy in [
+        PriorityPolicy::HighestLevelFirst,
+        PriorityPolicy::HighestLevelFirstComm,
+        PriorityPolicy::LongestTaskFirst,
+        PriorityPolicy::ShortestTaskFirst,
+        PriorityPolicy::Fifo,
+        PriorityPolicy::Random(3),
+    ] {
+        let mut s = ListScheduler::new(policy);
+        let r = simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        r.audit(&g).unwrap();
+    }
+}
+
+#[test]
+fn gantt_spans_cover_busy_time_exactly() {
+    let g = ne_paper();
+    let host = hypercube(3);
+    let mut sa = SaScheduler::new(SaConfig::default());
+    let r = simulate(&g, &host, &CommParams::paper(), &mut sa, &SimConfig::default()).unwrap();
+    for p in host.procs() {
+        let span_sum: u64 = r.gantt.proc_spans(p).iter().map(|s| s.end - s.start).sum();
+        assert_eq!(span_sum, r.busy[p.index()], "busy accounting on {p}");
+    }
+}
