@@ -37,18 +37,21 @@ fn bench_anneal(c: &mut Criterion) {
     for (tasks, procs) in [(2, 2), (15, 2), (15, 8), (100, 8)] {
         let packet = synthetic_packet(tasks, procs, 1);
         let cm = CostModel::new(&packet, 0.5, 0.5, BalanceRange::Full);
-        group.bench_function(BenchmarkId::from_parameter(format!("{tasks}x{procs}")), |b| {
-            let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| {
-                black_box(anneal_packet(
-                    &packet,
-                    &cm,
-                    &AnnealParams::default(),
-                    &mut rng,
-                    false,
-                ))
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{tasks}x{procs}")),
+            |b| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    black_box(anneal_packet(
+                        &packet,
+                        &cm,
+                        &AnnealParams::default(),
+                        &mut rng,
+                        false,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -20,8 +20,14 @@ fn bench_engine(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("with_comm", name), |b| {
             b.iter(|| {
                 let mut s = FixedMapping::new(mapping.clone());
-                simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default())
-                    .unwrap()
+                simulate(
+                    &g,
+                    &host,
+                    &CommParams::paper(),
+                    &mut s,
+                    &SimConfig::default(),
+                )
+                .unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("no_comm", name), |b| {

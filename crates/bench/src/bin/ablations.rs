@@ -37,16 +37,43 @@ fn main() {
         .with_title("Ablation 1: cooling schedule");
     for (name, cooling) in [
         ("geometric(1.0, 0.95)", CoolingSchedule::default_geometric()),
-        ("geometric(1.0, 0.85)", CoolingSchedule::Geometric { t0: 1.0, alpha: 0.85 }),
-        ("linear(1.0, 0.01)", CoolingSchedule::Linear { t0: 1.0, step: 0.01 }),
+        (
+            "geometric(1.0, 0.85)",
+            CoolingSchedule::Geometric {
+                t0: 1.0,
+                alpha: 0.85,
+            },
+        ),
+        (
+            "linear(1.0, 0.01)",
+            CoolingSchedule::Linear {
+                t0: 1.0,
+                step: 0.01,
+            },
+        ),
         ("logarithmic(1.0)", CoolingSchedule::Logarithmic { t0: 1.0 }),
-        ("constant(0.0) = descent", CoolingSchedule::Constant { temp: 0.0 }),
-        ("constant(1.0) = random walk", CoolingSchedule::Constant { temp: 1.0 }),
+        (
+            "constant(0.0) = descent",
+            CoolingSchedule::Constant { temp: 0.0 },
+        ),
+        (
+            "constant(1.0) = random walk",
+            CoolingSchedule::Constant { temp: 1.0 },
+        ),
     ] {
-        let cfg = SaConfig { cooling, ..SaConfig::default() };
+        let cfg = SaConfig {
+            cooling,
+            ..SaConfig::default()
+        };
         let r = run_sa(&g, &cube, CommMode::On, cfg);
         t1.row(vec![name.to_string(), f(r.speedup, 2)]);
-        csv.row(&["cooling".into(), name.to_string(), "NE".into(), "hypercube(8)".into(), f(r.speedup, 3)]);
+        csv.row(&[
+            "cooling".into(),
+            name.to_string(),
+            "NE".into(),
+            "hypercube(8)".into(),
+            f(r.speedup, 3),
+        ]);
     }
     print!("{}", t1.render());
     println!();
@@ -58,26 +85,39 @@ fn main() {
         ("heat bath (paper eq. 1)", AcceptanceRule::HeatBath),
         ("Metropolis", AcceptanceRule::Metropolis),
     ] {
-        let cfg = SaConfig { acceptance, ..SaConfig::default() };
+        let cfg = SaConfig {
+            acceptance,
+            ..SaConfig::default()
+        };
         let r = run_sa(&g, &cube, CommMode::On, cfg);
         t2.row(vec![name.to_string(), f(r.speedup, 2)]);
-        csv.row(&["acceptance".into(), name.to_string(), "NE".into(), "hypercube(8)".into(), f(r.speedup, 3)]);
+        csv.row(&[
+            "acceptance".into(),
+            name.to_string(),
+            "NE".into(),
+            "hypercube(8)".into(),
+            f(r.speedup, 3),
+        ]);
     }
     print!("{}", t2.render());
     println!();
 
     // 3. Weight sweep over every workload.
-    let mut t3 = Table::new(vec![
-        "w_b", "NE", "GJ", "FFT", "MM",
-    ])
-    .with_title("Ablation 3: balance weight w_b (w_c = 1 - w_b), hypercube, comm");
+    let mut t3 = Table::new(vec!["w_b", "NE", "GJ", "FFT", "MM"])
+        .with_title("Ablation 3: balance weight w_b (w_c = 1 - w_b), hypercube, comm");
     for wb in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
         let mut cells = vec![f(wb, 1)];
         for (name, wg) in paper_workloads() {
             let cfg = SaConfig::default().with_balance_weight(wb);
             let r = run_sa(&wg, &cube, CommMode::On, cfg);
             cells.push(f(r.speedup, 2));
-            csv.row(&["weights".into(), format!("wb={wb}"), name.to_string(), "hypercube(8)".into(), f(r.speedup, 3)]);
+            csv.row(&[
+                "weights".into(),
+                format!("wb={wb}"),
+                name.to_string(),
+                "hypercube(8)".into(),
+                f(r.speedup, 3),
+            ]);
         }
         t3.row(cells);
     }
@@ -91,10 +131,19 @@ fn main() {
         ("Max - Min (Full)", BalanceRange::Full),
         ("(Max - Min)/N_idle (PerIdle)", BalanceRange::PerIdle),
     ] {
-        let cfg = SaConfig { balance_range, ..SaConfig::default() };
+        let cfg = SaConfig {
+            balance_range,
+            ..SaConfig::default()
+        };
         let r = run_sa(&g, &cube, CommMode::On, cfg);
         t4.row(vec![name.to_string(), f(r.speedup, 2)]);
-        csv.row(&["balance_range".into(), name.to_string(), "NE".into(), "hypercube(8)".into(), f(r.speedup, 3)]);
+        csv.row(&[
+            "balance_range".into(),
+            name.to_string(),
+            "NE".into(),
+            "hypercube(8)".into(),
+            f(r.speedup, 3),
+        ]);
     }
     print!("{}", t4.render());
     println!();
@@ -103,10 +152,19 @@ fn main() {
     let mut t5 = Table::new(vec!["keep_best", "Speedup (NE, hypercube, comm)"])
         .with_title("Ablation 5: restore best-seen mapping");
     for keep_best in [true, false] {
-        let cfg = SaConfig { keep_best, ..SaConfig::default() };
+        let cfg = SaConfig {
+            keep_best,
+            ..SaConfig::default()
+        };
         let r = run_sa(&g, &cube, CommMode::On, cfg);
         t5.row(vec![keep_best.to_string(), f(r.speedup, 2)]);
-        csv.row(&["keep_best".into(), keep_best.to_string(), "NE".into(), "hypercube(8)".into(), f(r.speedup, 3)]);
+        csv.row(&[
+            "keep_best".into(),
+            keep_best.to_string(),
+            "NE".into(),
+            "hypercube(8)".into(),
+            f(r.speedup, 3),
+        ]);
     }
     print!("{}", t5.render());
     println!();
@@ -114,12 +172,27 @@ fn main() {
     // 6. Bus contention model.
     let mut t6 = Table::new(vec!["Bus model", "SA", "HLF"])
         .with_title("Ablation 6: dedicated channels vs single shared channel (NE, comm)");
-    for (name, topo) in [("bus(8) dedicated", bus(8)), ("shared_bus(8)", shared_bus(8))] {
+    for (name, topo) in [
+        ("bus(8) dedicated", bus(8)),
+        ("shared_bus(8)", shared_bus(8)),
+    ] {
         let rs = run_sa(&g, &topo, CommMode::On, SaConfig::default());
         let rh = run_hlf(&g, &topo, CommMode::On);
         t6.row(vec![name.to_string(), f(rs.speedup, 2), f(rh.speedup, 2)]);
-        csv.row(&["bus_contention".into(), format!("{name} SA"), "NE".into(), name.to_string(), f(rs.speedup, 3)]);
-        csv.row(&["bus_contention".into(), format!("{name} HLF"), "NE".into(), name.to_string(), f(rh.speedup, 3)]);
+        csv.row(&[
+            "bus_contention".into(),
+            format!("{name} SA"),
+            "NE".into(),
+            name.to_string(),
+            f(rs.speedup, 3),
+        ]);
+        csv.row(&[
+            "bus_contention".into(),
+            format!("{name} HLF"),
+            "NE".into(),
+            name.to_string(),
+            f(rh.speedup, 3),
+        ]);
     }
     print!("{}", t6.render());
     println!();

@@ -21,13 +21,21 @@ fn main() {
         "Temp steps/packet",
         "Accept rate",
     ])
-    .with_title("Annealing-process statistics (paper, NE: 95 tasks, 65 packets, 15 cand / 1.46 idle)");
+    .with_title(
+        "Annealing-process statistics (paper, NE: 95 tasks, 65 packets, 15 cand / 1.46 idle)",
+    );
 
     for (name, g) in paper_workloads() {
         for topo in paper_architectures() {
             let mut sa = SaScheduler::new(SaConfig::default());
-            simulate(&g, &topo, &CommParams::paper(), &mut sa, &SimConfig::default())
-                .expect("simulation");
+            simulate(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &mut sa,
+                &SimConfig::default(),
+            )
+            .expect("simulation");
             let st = &sa.stats;
             table.row(vec![
                 name.to_string(),

@@ -20,7 +20,12 @@ fn main() {
         ..SimConfig::default()
     };
     let mut table = Table::new(vec![
-        "Scenario", "List (FIFO)", "HLF", "SA", "Optimal", "SA optimal?",
+        "Scenario",
+        "List (FIFO)",
+        "HLF",
+        "SA",
+        "Optimal",
+        "SA optimal?",
     ])
     .with_title("Graham anomalies: makespans in Graham units (list L = T1..T9)");
 

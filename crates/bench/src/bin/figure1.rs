@@ -23,18 +23,21 @@ fn main() {
         ..SaConfig::default().with_balance_weight(0.5)
     };
     let mut sa = SaScheduler::new(cfg);
-    let result = simulate(&g, &topo, &CommParams::paper(), &mut sa, &SimConfig::default())
-        .expect("NE simulation");
+    let result = simulate(
+        &g,
+        &topo,
+        &CommParams::paper(),
+        &mut sa,
+        &SimConfig::default(),
+    )
+    .expect("NE simulation");
 
     // The paper shows a packet where both cost terms evolve; pick the
     // richest packet in which both the communication term and the level
     // term actually vary (packet 0 only contains root tasks whose
     // inputs are free, and packets of equal-level candidates have a
     // constant F_b).
-    let varies = |vals: Vec<f64>| {
-        vals.iter()
-            .any(|&v| (v - vals[0]).abs() > 1e-9)
-    };
+    let varies = |vals: Vec<f64>| vals.iter().any(|&v| (v - vals[0]).abs() > 1e-9);
     // Prefer few idle processors (the paper's packets average 1.46, so
     // F_b stays on the same scale as F_c) and many candidates.
     let trace = sa
@@ -75,7 +78,14 @@ fn main() {
 
     let mut csv = Csv::new();
     csv.row(&[
-        "iter", "temp", "f_b_raw_ns", "f_c_raw_ns", "f_b_norm", "f_c_norm", "f_total", "accepted",
+        "iter",
+        "temp",
+        "f_b_raw_ns",
+        "f_c_raw_ns",
+        "f_b_norm",
+        "f_c_norm",
+        "f_total",
+        "accepted",
     ]);
     for s in &trace.samples {
         csv.row(&[

@@ -20,8 +20,14 @@ fn main() {
     let g = ne_paper();
     let topo = hypercube(3);
     let mut sa = SaScheduler::new(SaConfig::default().with_balance_weight(0.5));
-    let r = simulate(&g, &topo, &CommParams::paper(), &mut sa, &SimConfig::default())
-        .expect("NE simulation");
+    let r = simulate(
+        &g,
+        &topo,
+        &CommParams::paper(),
+        &mut sa,
+        &SimConfig::default(),
+    )
+    .expect("NE simulation");
     r.audit(&g).expect("valid schedule");
 
     println!(

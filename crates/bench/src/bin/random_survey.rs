@@ -30,7 +30,14 @@ fn main() {
     let mut sa_ratios = Vec::with_capacity(count);
     let mut exact = 0usize;
     let mut csv = Csv::new();
-    csv.row(&["instance", "optimal_ns", "hlf_ns", "sa_ns", "hlf_ratio", "sa_ratio"]);
+    csv.row(&[
+        "instance",
+        "optimal_ns",
+        "hlf_ns",
+        "sa_ns",
+        "hlf_ratio",
+        "sa_ratio",
+    ]);
 
     for (i, g) in pop.instances().enumerate() {
         let opt = optimal_makespan(&g, procs, 20_000_000);
@@ -70,7 +77,11 @@ fn main() {
     let (s_mean, s_max, s_w5, s_opt) = summarize(&sa_ratios);
 
     let mut table = Table::new(vec![
-        "Scheduler", "Mean ratio", "Worst ratio", "Within 5% of opt", "Exactly optimal",
+        "Scheduler",
+        "Mean ratio",
+        "Worst ratio",
+        "Within 5% of opt",
+        "Exactly optimal",
     ])
     .with_title(format!(
         "Random survey: {count} layered graphs (16 tasks) on {procs} processors, no comm \

@@ -17,10 +17,8 @@ fn main() {
     csv.row(&["workload", "topology", "procs", "comm", "sa", "hlf"]);
 
     for (name, g) in paper_workloads() {
-        let mut table = Table::new(vec![
-            "Machine", "SA w/o", "SA with", "HLF with", "SA gain",
-        ])
-        .with_title(format!("Scaling [{name}] (max speedup from Table 1 shape)"));
+        let mut table = Table::new(vec!["Machine", "SA w/o", "SA with", "HLF with", "SA gain"])
+            .with_title(format!("Scaling [{name}] (max speedup from Table 1 shape)"));
         let machines = [
             hypercube(1),
             hypercube(2),
@@ -53,7 +51,11 @@ fn main() {
                     host.num_procs().to_string(),
                     comm.to_string(),
                     f(sa, 3),
-                    if hlf.is_nan() { String::new() } else { f(hlf, 3) },
+                    if hlf.is_nan() {
+                        String::new()
+                    } else {
+                        f(hlf, 3)
+                    },
                 ]);
             }
         }

@@ -5,18 +5,30 @@
 
 use anneal_bench::results_dir;
 use anneal_report::{csv::f, Csv, Table};
-use anneal_workloads::stats::{paper_table1, Table1Row};
 use anneal_workloads::paper_workloads;
+use anneal_workloads::stats::{paper_table1, Table1Row};
 
 fn main() {
     let refs = paper_table1();
     let mut table = Table::new(vec![
-        "Program", "Tasks", "Avg dur (us)", "Avg comm (us)", "C/C %", "Max speedup", "src",
+        "Program",
+        "Tasks",
+        "Avg dur (us)",
+        "Avg comm (us)",
+        "C/C %",
+        "Max speedup",
+        "src",
     ])
     .with_title("Table 1: principal program characteristics (measured vs paper)");
     let mut csv = Csv::new();
     csv.row(&[
-        "program", "source", "tasks", "avg_duration_us", "avg_comm_us", "cc_pct", "max_speedup",
+        "program",
+        "source",
+        "tasks",
+        "avg_duration_us",
+        "avg_comm_us",
+        "cc_pct",
+        "max_speedup",
     ]);
 
     for ((name, g), r) in paper_workloads().iter().zip(&refs) {

@@ -19,8 +19,15 @@ fn main() {
     let paper = paper_table2();
     let mut csv = Csv::new();
     csv.row(&[
-        "program", "topology", "comm", "sa_speedup", "hlf_speedup", "gain_pct",
-        "paper_sa", "paper_hlf", "paper_gain_pct",
+        "program",
+        "topology",
+        "comm",
+        "sa_speedup",
+        "hlf_speedup",
+        "gain_pct",
+        "paper_sa",
+        "paper_hlf",
+        "paper_gain_pct",
     ]);
 
     for (name, g) in paper_workloads() {
@@ -33,7 +40,9 @@ fn main() {
             "(Sp)HLF with",
             "% gain with",
         ])
-        .with_title(format!("Table 2 [{name}] (first row measured, second row paper)"));
+        .with_title(format!(
+            "Table 2 [{name}] (first row measured, second row paper)"
+        ));
 
         for topo in paper_architectures() {
             let mut measured = [0.0f64; 4]; // sa_wo, hlf_wo, sa_with, hlf_with

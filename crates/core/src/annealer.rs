@@ -309,7 +309,11 @@ mod tests {
 
     #[test]
     fn trace_records_iterations() {
-        let p = packet(vec![100, 90, 10], vec![vec![0, 50], vec![50, 0], vec![25, 25]], 2);
+        let p = packet(
+            vec![100, 90, 10],
+            vec![vec![0, 50], vec![50, 0], vec![25, 25]],
+            2,
+        );
         let cm = CostModel::new(&p, 0.5, 0.5, BalanceRange::Full);
         let mut rng = StdRng::seed_from_u64(4);
         let out = anneal_packet(&p, &cm, &AnnealParams::default(), &mut rng, true);

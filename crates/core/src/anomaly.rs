@@ -54,7 +54,15 @@ pub fn graham_shorter_times() -> TaskGraph {
 /// Same instance with `T4 <* T5` and `T4 <* T6` removed (list makespan
 /// rises to 16 on 3 processors).
 pub fn graham_relaxed_precedence() -> TaskGraph {
-    build(&TIMES, EDGES[..1].iter().chain(&EDGES[3..]).copied().collect::<Vec<_>>().as_slice())
+    build(
+        &TIMES,
+        EDGES[..1]
+            .iter()
+            .chain(&EDGES[3..])
+            .copied()
+            .collect::<Vec<_>>()
+            .as_slice(),
+    )
 }
 
 /// The four anomaly scenarios: `(name, graph, processors)`. The first
@@ -65,7 +73,11 @@ pub fn anomaly_scenarios() -> Vec<(&'static str, TaskGraph, usize)> {
         ("original (3 procs)", graham_original(), 3),
         ("more processors (4 procs)", graham_original(), 4),
         ("shorter tasks (3 procs)", graham_shorter_times(), 3),
-        ("relaxed precedence (3 procs)", graham_relaxed_precedence(), 3),
+        (
+            "relaxed precedence (3 procs)",
+            graham_relaxed_precedence(),
+            3,
+        ),
     ]
 }
 

@@ -77,9 +77,18 @@ mod tests {
         let p = acceptance_probability(AcceptanceRule::HeatBath, 1.0, 1e18);
         assert!((p - 0.5).abs() < 1e-6);
         // B(F, 0): 1 if F < 0, 0 otherwise
-        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, -0.1, 0.0), 1.0);
-        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, 0.1, 0.0), 0.0);
-        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, 0.0, 0.0), 0.0);
+        assert_eq!(
+            acceptance_probability(AcceptanceRule::HeatBath, -0.1, 0.0),
+            1.0
+        );
+        assert_eq!(
+            acceptance_probability(AcceptanceRule::HeatBath, 0.1, 0.0),
+            0.0
+        );
+        assert_eq!(
+            acceptance_probability(AcceptanceRule::HeatBath, 0.0, 0.0),
+            0.0
+        );
     }
 
     #[test]
@@ -107,14 +116,26 @@ mod tests {
 
     #[test]
     fn heat_bath_no_overflow() {
-        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, 1e9, 1.0), 0.0);
-        assert_eq!(acceptance_probability(AcceptanceRule::HeatBath, -1e9, 1.0), 1.0);
+        assert_eq!(
+            acceptance_probability(AcceptanceRule::HeatBath, 1e9, 1.0),
+            0.0
+        );
+        assert_eq!(
+            acceptance_probability(AcceptanceRule::HeatBath, -1e9, 1.0),
+            1.0
+        );
     }
 
     #[test]
     fn metropolis_always_accepts_improvement() {
-        assert_eq!(acceptance_probability(AcceptanceRule::Metropolis, -5.0, 0.3), 1.0);
-        assert_eq!(acceptance_probability(AcceptanceRule::Metropolis, 0.0, 0.3), 1.0);
+        assert_eq!(
+            acceptance_probability(AcceptanceRule::Metropolis, -5.0, 0.3),
+            1.0
+        );
+        assert_eq!(
+            acceptance_probability(AcceptanceRule::Metropolis, 0.0, 0.3),
+            1.0
+        );
         let p = acceptance_probability(AcceptanceRule::Metropolis, 1.0, 1.0);
         assert!((p - (-1.0f64).exp()).abs() < 1e-12);
     }

@@ -42,7 +42,10 @@ impl CoolingSchedule {
     /// geometric from 1.0 with α = 0.95 (costs are normalized to
     /// order-1 by eq. 6, so `t0 = 1` starts near-random).
     pub fn default_geometric() -> Self {
-        CoolingSchedule::Geometric { t0: 1.0, alpha: 0.95 }
+        CoolingSchedule::Geometric {
+            t0: 1.0,
+            alpha: 0.95,
+        }
     }
 
     /// Temperature at iteration `k`.
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn geometric_decays() {
-        let c = CoolingSchedule::Geometric { t0: 2.0, alpha: 0.5 };
+        let c = CoolingSchedule::Geometric {
+            t0: 2.0,
+            alpha: 0.5,
+        };
         assert_eq!(c.temperature(0), 2.0);
         assert_eq!(c.temperature(1), 1.0);
         assert_eq!(c.temperature(3), 0.25);
@@ -109,7 +115,10 @@ mod tests {
     fn all_schedules_monotone_nonincreasing() {
         for c in [
             CoolingSchedule::default_geometric(),
-            CoolingSchedule::Linear { t0: 1.0, step: 0.01 },
+            CoolingSchedule::Linear {
+                t0: 1.0,
+                step: 0.01,
+            },
             CoolingSchedule::Logarithmic { t0: 1.0 },
             CoolingSchedule::Constant { temp: 0.5 },
         ] {

@@ -126,7 +126,12 @@ impl<'p> CostModel<'p> {
                 let old_fb = if from.is_some() { -lv(task) } else { 0.0 };
                 (-lv(task) - old_fb, cc(task, to) - old_fc)
             }
-            Move::Swap { task, other, to, from } => {
+            Move::Swap {
+                task,
+                other,
+                to,
+                from,
+            } => {
                 // before: task on `from` (or out), other on `to`
                 // after:  task on `to`, other on `from` (or out)
                 let fb_before = from.map_or(0.0, |_| -lv(task)) - lv(other);

@@ -65,9 +65,7 @@ impl Default for HlfScheduler {
 
 impl OnlineScheduler for HlfScheduler {
     fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
-        let levels = self
-            .levels
-            .get_or_insert_with(|| bottom_levels(ctx.graph));
+        let levels = self.levels.get_or_insert_with(|| bottom_levels(ctx.graph));
         let mut ranked: Vec<TaskId> = ctx.ready.to_vec();
         ranked.sort_by_key(|&t| (std::cmp::Reverse(levels[t.index()]), t));
         let mut procs: Vec<ProcId> = ctx.idle.to_vec();
@@ -128,8 +126,14 @@ mod tests {
         let g = two_chains();
         let run = || {
             let mut s = HlfScheduler::new();
-            simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap()
+            simulate(
+                &g,
+                &hypercube(3),
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap()
         };
         let a = run();
         let b = run();
@@ -142,9 +146,15 @@ mod tests {
         let g = two_chains();
         let run = |seed| {
             let mut s = HlfScheduler::with_placement(Placement::Random(seed));
-            simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap()
-                .placement
+            simulate(
+                &g,
+                &hypercube(3),
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap()
+            .placement
         };
         assert_eq!(run(4), run(4));
     }
@@ -154,8 +164,14 @@ mod tests {
         let g = two_chains();
         for topo in anneal_topology::builders::paper_architectures() {
             let mut s = HlfScheduler::new();
-            let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap();
+            let r = simulate(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap();
             r.audit(&g).unwrap();
         }
     }

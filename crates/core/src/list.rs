@@ -39,9 +39,7 @@ impl PriorityPolicy {
             PriorityPolicy::HighestLevelFirst => bottom_levels(g),
             PriorityPolicy::HighestLevelFirstComm => bottom_levels_with_comm(g),
             PriorityPolicy::LongestTaskFirst => g.loads().to_vec(),
-            PriorityPolicy::ShortestTaskFirst => {
-                g.loads().iter().map(|&l| Work::MAX - l).collect()
-            }
+            PriorityPolicy::ShortestTaskFirst => g.loads().iter().map(|&l| Work::MAX - l).collect(),
             PriorityPolicy::Fifo => {
                 let n = g.num_tasks() as Work;
                 (0..g.num_tasks()).map(|i| n - i as Work).collect()
@@ -156,9 +154,16 @@ mod tests {
             PriorityPolicy::Random(5),
         ] {
             let mut s = ListScheduler::new(policy);
-            let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap();
-            r.audit(&g).unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            let r = simulate(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap();
+            r.audit(&g)
+                .unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
         }
     }
 

@@ -145,7 +145,11 @@ impl PacketMapping {
         }
         let from = self.proc_of_task[task];
         Some(match self.task_at_proc[proc] {
-            None => Move::Transfer { task, to: proc, from },
+            None => Move::Transfer {
+                task,
+                to: proc,
+                from,
+            },
             Some(other) => Move::Swap {
                 task,
                 other,
@@ -163,7 +167,12 @@ impl PacketMapping {
                 self.unplace(task);
                 self.place(task, to);
             }
-            Move::Swap { task, other, to, from } => {
+            Move::Swap {
+                task,
+                other,
+                to,
+                from,
+            } => {
                 debug_assert_eq!(self.task_at_proc[to], Some(other));
                 self.unplace(task);
                 self.unplace(other);
@@ -187,7 +196,12 @@ impl PacketMapping {
                     self.place(task, f);
                 }
             }
-            Move::Swap { task, other, to, from } => {
+            Move::Swap {
+                task,
+                other,
+                to,
+                from,
+            } => {
                 self.unplace(task);
                 if from.is_some() {
                     self.unplace(other);
@@ -241,7 +255,10 @@ mod tests {
 
         let mut m3 = PacketMapping::new(3, 3);
         m3.saturate_in_order();
-        assert_eq!(m3.assignments().collect::<Vec<_>>(), vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(
+            m3.assignments().collect::<Vec<_>>(),
+            vec![(0, 0), (1, 1), (2, 2)]
+        );
     }
 
     #[test]
@@ -249,7 +266,14 @@ mod tests {
         let mut m = PacketMapping::new(2, 3);
         m.saturate_in_order(); // t0->p0, t1->p1; p2 empty
         let mv = m.propose(0, 2).unwrap();
-        assert!(matches!(mv, Move::Transfer { task: 0, to: 2, from: Some(0) }));
+        assert!(matches!(
+            mv,
+            Move::Transfer {
+                task: 0,
+                to: 2,
+                from: Some(0)
+            }
+        ));
         m.apply(mv);
         assert_eq!(m.proc_of(0), Some(2));
         assert_eq!(m.task_at(0), None);
@@ -264,7 +288,15 @@ mod tests {
         let mut m = PacketMapping::new(2, 2);
         m.saturate_in_order();
         let mv = m.propose(0, 1).unwrap();
-        assert!(matches!(mv, Move::Swap { task: 0, other: 1, to: 1, from: Some(0) }));
+        assert!(matches!(
+            mv,
+            Move::Swap {
+                task: 0,
+                other: 1,
+                to: 1,
+                from: Some(0)
+            }
+        ));
         m.apply(mv);
         assert_eq!(m.proc_of(0), Some(1));
         assert_eq!(m.proc_of(1), Some(0));
@@ -281,7 +313,15 @@ mod tests {
         let mut m = PacketMapping::new(3, 2);
         m.saturate_in_order(); // t0->p0, t1->p1
         let mv = m.propose(2, 0).unwrap();
-        assert!(matches!(mv, Move::Swap { task: 2, other: 0, to: 0, from: None }));
+        assert!(matches!(
+            mv,
+            Move::Swap {
+                task: 2,
+                other: 0,
+                to: 0,
+                from: None
+            }
+        ));
         m.apply(mv);
         assert_eq!(m.proc_of(2), Some(0));
         assert_eq!(m.proc_of(0), None);
@@ -297,7 +337,7 @@ mod tests {
     fn unassigned_to_empty_proc_transfer(/* tasks < procs case */) {
         let mut m = PacketMapping::new(1, 3);
         m.saturate_in_order(); // t0 -> p0
-        // move to empty p2
+                               // move to empty p2
         let mv = m.propose(0, 2).unwrap();
         m.apply(mv);
         assert_eq!(m.assigned_count(), 1);

@@ -31,9 +31,7 @@ impl MctScheduler {
 
 impl OnlineScheduler for MctScheduler {
     fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
-        let levels = self
-            .levels
-            .get_or_insert_with(|| bottom_levels(ctx.graph));
+        let levels = self.levels.get_or_insert_with(|| bottom_levels(ctx.graph));
         let mut ranked: Vec<TaskId> = ctx.ready.to_vec();
         ranked.sort_by_key(|&t| (std::cmp::Reverse(levels[t.index()]), t));
         let mut free: Vec<ProcId> = ctx.idle.to_vec();
@@ -89,8 +87,14 @@ mod tests {
         let g = bld.build().unwrap();
         let topo = linear(3);
         let mut s = MctScheduler::new();
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
-            .unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.placement[a.index()], r.placement[b.index()]);
         assert_eq!(r.comm.messages, 0);
         assert_eq!(r.makespan, us(20.0));
@@ -119,11 +123,23 @@ mod tests {
         let g = bld.build().unwrap();
         let topo = linear(3);
         let mut mct = MctScheduler::new();
-        let rm = simulate(&g, &topo, &CommParams::paper(), &mut mct, &SimConfig::default())
-            .unwrap();
+        let rm = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut mct,
+            &SimConfig::default(),
+        )
+        .unwrap();
         let mut hlf = crate::HlfScheduler::new();
-        let rh = simulate(&g, &topo, &CommParams::paper(), &mut hlf, &SimConfig::default())
-            .unwrap();
+        let rh = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut hlf,
+            &SimConfig::default(),
+        )
+        .unwrap();
         rm.audit(&g).unwrap();
         assert!(
             rm.makespan < rh.makespan,
@@ -140,8 +156,14 @@ mod tests {
         let g = anneal_workloads_smoke();
         for topo in paper_architectures() {
             let mut s = MctScheduler::new();
-            let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap();
+            let r = simulate(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap();
             r.audit(&g).unwrap();
         }
     }

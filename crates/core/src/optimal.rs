@@ -165,7 +165,14 @@ pub fn optimal_makespan(g: &TaskGraph, num_procs: usize, node_limit: u64) -> Opt
     let mut indeg: Vec<u32> = g.tasks().map(|t| g.in_degree(t) as u32).collect();
     let mut finish = vec![Work::MAX; g.num_tasks()];
     let mut proc_free = vec![0; num_procs];
-    let complete = s.dfs(&mut indeg, &mut finish, &mut proc_free, 0, g.total_work(), 0);
+    let complete = s.dfs(
+        &mut indeg,
+        &mut finish,
+        &mut proc_free,
+        0,
+        g.total_work(),
+        0,
+    );
     if complete {
         OptimalResult::Exact(s.best)
     } else {

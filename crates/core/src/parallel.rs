@@ -45,7 +45,10 @@ pub fn best_of_restarts(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     });
 
     let mut best: Option<(usize, SimResult)> = None;

@@ -167,9 +167,7 @@ impl OnlineScheduler for SaScheduler {
         if ctx.ready.is_empty() || ctx.idle.is_empty() {
             return;
         }
-        let levels = self
-            .levels
-            .get_or_insert_with(|| bottom_levels(ctx.graph));
+        let levels = self.levels.get_or_insert_with(|| bottom_levels(ctx.graph));
         let packet = AnnealingPacket::from_epoch(ctx, levels);
         let cm = CostModel::new(&packet, self.cfg.wb, self.cfg.wc, self.cfg.balance_range);
         let params = AnnealParams {
@@ -181,13 +179,7 @@ impl OnlineScheduler for SaScheduler {
             keep_best: self.cfg.keep_best,
             init: self.cfg.init,
         };
-        let outcome = anneal_packet(
-            &packet,
-            &cm,
-            &params,
-            &mut self.rng,
-            self.cfg.record_traces,
-        );
+        let outcome = anneal_packet(&packet, &cm, &params, &mut self.rng, self.cfg.record_traces);
 
         self.stats.packets += 1;
         self.stats.iterations += outcome.iterations;
@@ -242,8 +234,14 @@ mod tests {
     fn schedules_complete_and_audit() {
         let g = diamondish();
         let mut s = SaScheduler::new(SaConfig::default());
-        let r = simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default())
-            .unwrap();
+        let r = simulate(
+            &g,
+            &hypercube(3),
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         r.audit(&g).unwrap();
         assert_eq!(s.stats.assigned, 5);
         assert!(s.stats.packets >= 2);
@@ -255,9 +253,15 @@ mod tests {
         let g = diamondish();
         let run = |seed| {
             let mut s = SaScheduler::new(SaConfig::default().with_seed(seed));
-            simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap()
-                .makespan
+            simulate(
+                &g,
+                &hypercube(3),
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap()
+            .makespan
         };
         assert_eq!(run(1), run(1));
         assert_eq!(run(9), run(9));
@@ -284,7 +288,14 @@ mod tests {
             ..SaConfig::default()
         };
         let mut s = SaScheduler::new(cfg);
-        simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        simulate(
+            &g,
+            &hypercube(3),
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(s.traces.len() as u64, s.stats.packets);
         assert!(s.traces.iter().all(|t| !t.samples.is_empty()));
     }
@@ -293,7 +304,14 @@ mod tests {
     fn stats_aggregate_sensibly() {
         let g = diamondish();
         let mut s = SaScheduler::new(SaConfig::default());
-        simulate(&g, &hypercube(3), &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        simulate(
+            &g,
+            &hypercube(3),
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert!(s.stats.avg_candidates() >= 1.0);
         assert!(s.stats.avg_idle() >= 1.0);
         assert!(s.stats.acceptance_rate() > 0.0 && s.stats.acceptance_rate() <= 1.0);

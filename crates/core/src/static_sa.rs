@@ -47,7 +47,10 @@ impl Default for StaticSaConfig {
             max_iters: 120,
             moves_per_temp: 0,
             stable_iters: 8,
-            cooling: CoolingSchedule::Geometric { t0: 0.05, alpha: 0.93 },
+            cooling: CoolingSchedule::Geometric {
+                t0: 0.05,
+                alpha: 0.93,
+            },
             acceptance: AcceptanceRule::HeatBath,
             seed: 42,
         }
@@ -221,8 +224,14 @@ mod tests {
                 .map(|i| ProcId::from_index(i % 4))
                 .collect(),
         );
-        let base = simulate(&g, &topo, &CommParams::paper(), &mut rr, &SimConfig::default())
-            .unwrap();
+        let base = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut rr,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert!(out.result.makespan <= base.makespan);
     }
 

@@ -80,7 +80,11 @@ mod tests {
             epoch_time: 0,
             candidates: 3,
             idle: 1,
-            samples: vec![sample(0, 5.0, true), sample(1, 2.0, false), sample(2, 1.0, true)],
+            samples: vec![
+                sample(0, 5.0, true),
+                sample(1, 2.0, false),
+                sample(2, 1.0, true),
+            ],
         };
         assert_eq!(t.initial_cost(), 5.0);
         assert_eq!(t.final_cost(), 1.0);

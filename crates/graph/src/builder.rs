@@ -141,14 +141,20 @@ impl TaskGraphBuilder {
         sorted.sort_unstable_by_key(|&(f, t, _)| (f, t));
         for &(f, t, w) in &sorted {
             let sc = &mut succ_cursor[f.index()];
-            succ_adj[*sc as usize] = Edge { target: t, weight: w };
+            succ_adj[*sc as usize] = Edge {
+                target: t,
+                weight: w,
+            };
             *sc += 1;
         }
         let mut sorted_by_to = sorted;
         sorted_by_to.sort_unstable_by_key(|&(f, t, _)| (t, f));
         for &(f, t, w) in &sorted_by_to {
             let pc = &mut pred_cursor[t.index()];
-            pred_adj[*pc as usize] = Edge { target: f, weight: w };
+            pred_adj[*pc as usize] = Edge {
+                target: f,
+                weight: w,
+            };
             *pc += 1;
         }
 
@@ -156,9 +162,7 @@ impl TaskGraphBuilder {
         // Reverse(id) would be O(E log V); a simple FIFO over a sorted
         // ready set is enough and we keep smallest-id-first via a
         // min-heap).
-        let mut indeg: Vec<u32> = (0..n)
-            .map(|i| pred_off[i + 1] - pred_off[i])
-            .collect();
+        let mut indeg: Vec<u32> = (0..n).map(|i| pred_off[i + 1] - pred_off[i]).collect();
         let mut heap = std::collections::BinaryHeap::new();
         for (i, &d) in indeg.iter().enumerate() {
             if d == 0 {
@@ -264,7 +268,10 @@ mod tests {
 
     #[test]
     fn empty_graph_is_error() {
-        assert_eq!(TaskGraphBuilder::new().build().err(), Some(GraphError::Empty));
+        assert_eq!(
+            TaskGraphBuilder::new().build().err(),
+            Some(GraphError::Empty)
+        );
     }
 
     #[test]

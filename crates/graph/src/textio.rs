@@ -20,8 +20,13 @@ use crate::ids::TaskId;
 /// Serializes `g` to the `.tg` text format.
 pub fn to_text(g: &TaskGraph) -> String {
     let mut out = String::new();
-    writeln!(out, "# annealsched taskgraph: {} tasks, {} edges", g.num_tasks(), g.num_edges())
-        .unwrap();
+    writeln!(
+        out,
+        "# annealsched taskgraph: {} tasks, {} edges",
+        g.num_tasks(),
+        g.num_edges()
+    )
+    .unwrap();
     for t in g.tasks() {
         let name = g.name(t);
         if name == format!("t{}", t.index()) {
@@ -139,7 +144,10 @@ mod tests {
         let text = "# hi\n\ntask 0 5\n   \ntask 1 6\nedge 0 1 7\n";
         let g = from_text(text).unwrap();
         assert_eq!(g.num_tasks(), 2);
-        assert_eq!(g.edge_weight(TaskId::from_index(0), TaskId::from_index(1)), Some(7));
+        assert_eq!(
+            g.edge_weight(TaskId::from_index(0), TaskId::from_index(1)),
+            Some(7)
+        );
     }
 
     #[test]

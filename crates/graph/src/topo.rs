@@ -47,7 +47,10 @@ pub fn topo_order_by_priority(g: &TaskGraph, priority: &[Work]) -> Vec<TaskId> {
             let d = &mut indeg[e.target.index()];
             *d -= 1;
             if *d == 0 {
-                heap.push((priority[e.target.index()], std::cmp::Reverse(e.target.raw())));
+                heap.push((
+                    priority[e.target.index()],
+                    std::cmp::Reverse(e.target.raw()),
+                ));
             }
         }
     }

@@ -1,0 +1,91 @@
+//! Regression tests for degenerate generator parameters.
+//!
+//! The generators draw from `rng.gen_range(..)` and `gen_bool(..)`
+//! under size invariants (`layers >= 1`, `width >= 1`, `n >= 1`,
+//! probabilities in `[0, 1]`). These tests pin the smallest legal
+//! values and the probability endpoints so a refactor cannot
+//! reintroduce an empty-range draw (e.g. `gen_range(0..0)` when a layer
+//! has zero predecessors to pick from) or an invalid Bernoulli
+//! parameter.
+
+use anneal_graph::generate::{
+    chain, fork_join, gnp_dag, independent, layered_random, LayeredConfig, Range,
+};
+use anneal_graph::topo::is_topological_order;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn layered_minimal_shapes() {
+    for (layers, width) in [(1, 1), (1, 4), (4, 1)] {
+        let cfg = LayeredConfig {
+            layers,
+            width,
+            edge_prob: 0.5,
+            load: Range::new(1, 10),
+            comm: Range::new(0, 5),
+        };
+        let g = layered_random(&cfg, &mut rng(1));
+        assert_eq!(g.num_tasks(), layers * width);
+        assert!(is_topological_order(&g, g.topo_order()));
+    }
+}
+
+#[test]
+fn layered_probability_endpoints() {
+    // edge_prob == 0.0 forces the guaranteed-predecessor fallback draw
+    // for every non-first-layer task; 1.0 makes the fallback dead code.
+    for p in [0.0, 1.0] {
+        let cfg = LayeredConfig {
+            layers: 3,
+            width: 2,
+            edge_prob: p,
+            load: Range::new(1, 10),
+            comm: Range::new(0, 5),
+        };
+        let g = layered_random(&cfg, &mut rng(2));
+        // Every non-first-layer task has at least one predecessor.
+        let expected_min_edges = (cfg.layers - 1) * cfg.width;
+        assert!(g.num_edges() >= expected_min_edges);
+        if p == 1.0 {
+            assert_eq!(g.num_edges(), (cfg.layers - 1) * cfg.width * cfg.width);
+        }
+    }
+}
+
+#[test]
+fn gnp_single_task_and_probability_endpoints() {
+    let g = gnp_dag(1, 0.5, Range::new(1, 10), Range::new(0, 5), &mut rng(3));
+    assert_eq!(g.num_tasks(), 1);
+    assert_eq!(g.num_edges(), 0);
+
+    let dense = gnp_dag(5, 1.0, Range::new(1, 10), Range::new(0, 5), &mut rng(4));
+    assert_eq!(dense.num_edges(), 5 * 4 / 2);
+    let sparse = gnp_dag(5, 0.0, Range::new(1, 10), Range::new(0, 5), &mut rng(5));
+    assert_eq!(sparse.num_edges(), 0);
+}
+
+#[test]
+fn constant_ranges_are_legal() {
+    // Range::new(x, x) must sample the constant, not panic on an empty
+    // half-open interval (it is inclusive by construction).
+    let g = chain(3, Range::new(7, 7), Range::new(0, 0), &mut rng(6));
+    assert!(g.loads().iter().all(|&l| l == 7));
+    assert!(g.edges().all(|(_, _, w)| w == 0));
+}
+
+#[test]
+fn minimal_chain_independent_forkjoin() {
+    assert_eq!(
+        chain(1, Range::new(1, 2), Range::new(0, 1), &mut rng(7)).num_tasks(),
+        1
+    );
+    assert_eq!(independent(1, Range::new(1, 2), &mut rng(8)).num_tasks(), 1);
+    let fj = fork_join(1, Range::new(1, 2), Range::new(0, 1), &mut rng(9));
+    assert_eq!(fj.num_tasks(), 3);
+    assert!(is_topological_order(&fj, fj.topo_order()));
+}

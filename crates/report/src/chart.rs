@@ -60,7 +60,12 @@ impl Chart {
 
     /// Renders the chart; returns an empty string if no data.
     pub fn render(&self) -> String {
-        let max_len = self.series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+        let max_len = self
+            .series
+            .iter()
+            .map(|s| s.values.len())
+            .max()
+            .unwrap_or(0);
         if max_len == 0 {
             return String::new();
         }
@@ -122,7 +127,11 @@ impl Chart {
         out.push_str(&"-".repeat(self.width));
         out.push('\n');
         if !self.x_label.is_empty() {
-            out.push_str(&format!("{:>width$}\n", self.x_label, width = 13 + self.width / 2));
+            out.push_str(&format!(
+                "{:>width$}\n",
+                self.x_label,
+                width = 13 + self.width / 2
+            ));
         }
         // legend
         for s in &self.series {

@@ -56,11 +56,7 @@ pub fn render_svg(g: &Gantt, num_procs: usize, opts: &SvgOptions) -> String {
         w = opts.width
     )
     .unwrap();
-    writeln!(
-        svg,
-        r#"<rect width="100%" height="100%" fill="white"/>"#
-    )
-    .unwrap();
+    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
 
     for p in 0..num_procs {
         let lane_top = MARGIN_TOP as f64 + p as f64 * lane_h;

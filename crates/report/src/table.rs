@@ -167,8 +167,7 @@ mod tests {
 
     #[test]
     fn custom_alignment() {
-        let mut t =
-            Table::new(vec!["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
+        let mut t = Table::new(vec!["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
         t.row(vec!["1".into(), "2".into()]);
         let s = t.render();
         assert!(s.contains("| 1 | 2 |"));

@@ -232,8 +232,7 @@ impl<'a> Engine<'a> {
         params: &'a CommParams,
         cfg: &'a SimConfig,
     ) -> Result<Self, SimError> {
-        let routes =
-            RouteTable::build(topo).map_err(|e| SimError::Disconnected(e.to_string()))?;
+        let routes = RouteTable::build(topo).map_err(|e| SimError::Disconnected(e.to_string()))?;
         let n = g.num_tasks();
         let unfinished_preds: Vec<u32> = g.tasks().map(|t| g.in_degree(t) as u32).collect();
         let ready: Vec<TaskId> = g
@@ -250,7 +249,9 @@ impl<'a> Engine<'a> {
             queue: EventQueue::new(),
             store: Vec::new(),
             procs: (0..topo.num_procs()).map(|_| Proc::new()).collect(),
-            channels: (0..topo.num_channels()).map(|_| Channel::default()).collect(),
+            channels: (0..topo.num_channels())
+                .map(|_| Channel::default())
+                .collect(),
             msgs: Vec::new(),
             placement: vec![None; n],
             start: vec![None; n],
@@ -610,11 +611,7 @@ impl<'a> Engine<'a> {
             }
         }
         if self.finished < self.g.num_tasks() {
-            let idle = self
-                .procs
-                .iter()
-                .filter(|pr| pr.is_idle())
-                .count();
+            let idle = self.procs.iter().filter(|pr| pr.is_idle()).count();
             return Err(SimError::Deadlock {
                 time: self.now,
                 ready: self.ready.len(),
@@ -704,7 +701,14 @@ mod tests {
         let g = b.build().unwrap();
         let topo = linear(1);
         let mut s = GreedyScheduler;
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.makespan, us(5.0));
         assert_eq!(r.speedup, 1.0);
         r.audit(&g).unwrap();
@@ -715,7 +719,14 @@ mod tests {
         let g = two_chain();
         let topo = bus(2);
         let mut s = FixedMapping::new(vec![p(0), p(0)]);
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.makespan, us(30.0));
         assert_eq!(r.comm.messages, 0);
         r.audit(&g).unwrap();
@@ -729,7 +740,14 @@ mod tests {
         let g = two_chain();
         let topo = linear(2);
         let mut s = FixedMapping::new(vec![p(0), p(1)]);
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.makespan, us(50.0));
         assert_eq!(r.start[1], us(30.0));
         assert_eq!(r.comm.messages, 1);
@@ -746,7 +764,14 @@ mod tests {
         let g = two_chain();
         let topo = linear(3);
         let mut s = FixedMapping::new(vec![p(0), p(2)]);
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.makespan, us(63.0));
         assert_eq!(r.comm.hops, 2);
         assert_eq!(r.comm.max_hops, 2);
@@ -784,7 +809,14 @@ mod tests {
         let g = bld.build().unwrap();
         let topo = linear(3);
         let mut s = FixedMapping::new(vec![p(0), p(1), p(2)]);
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.finish[c.index()], us(109.0));
         assert_eq!(r.finish[b2.index()], us(63.0));
         assert_eq!(r.makespan, us(109.0));
@@ -815,7 +847,14 @@ mod tests {
         let g = bld.build().unwrap();
         let topo = linear(2);
         let mut s = FixedMapping::new(vec![p(0), p(1), p(1), p(0)]);
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.finish[c.index()], us(54.0));
         assert_eq!(r.finish[d.index()], us(50.0));
         r.audit(&g).unwrap();
@@ -875,7 +914,14 @@ mod tests {
         let g = bld.build().unwrap();
         let topo = hypercube(3);
         let mut s = GreedyScheduler;
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         r.audit(&g).unwrap();
         assert!(r.makespan >= us(100.0) - us(10.0)); // cp bound-ish sanity
         assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
@@ -922,8 +968,14 @@ mod tests {
         let g = two_chain();
         let topo = bus(2);
         let mut s = Lazy;
-        let err =
-            simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap_err();
+        let err = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap_err();
         match err {
             SimError::Deadlock { ready, idle, .. } => {
                 assert_eq!(ready, 1);
@@ -959,8 +1011,14 @@ mod tests {
         let g = bld.build().unwrap();
         for mode in 0..3u8 {
             let mut s = Bad(mode);
-            let err = simulate(&g, &bus(2), &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap_err();
+            let err = simulate(
+                &g,
+                &bus(2),
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap_err();
             assert!(matches!(err, SimError::InvalidAssignment(_)), "{err}");
         }
     }
@@ -975,7 +1033,14 @@ mod tests {
         let g = bld.build().unwrap();
         let topo = linear(1);
         let mut s = GreedyScheduler;
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.packets.packets, 2);
         assert_eq!(r.packets.total_candidates, 3); // 2 then 1
         assert_eq!(r.packets.assigned, 2);
@@ -999,7 +1064,14 @@ mod tests {
         let g = anneal_workload_sample();
         let topo = hypercube(3);
         let mut s = GreedyScheduler;
-        let r = simulate(&g, &topo, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.compute_ns(), g.total_work());
         r.audit(&g).unwrap();
     }

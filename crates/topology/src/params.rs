@@ -180,7 +180,6 @@ mod tests {
     #[test]
     fn eq4_same_processor_is_zero() {
         let p = CommParams::paper();
-        assert_eq!(p.eq4_cost(123_456, 0, true), ((1 - 1) * p.tau));
         assert_eq!(p.eq4_cost(123_456, 0, true), 0);
     }
 

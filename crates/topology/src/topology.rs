@@ -20,9 +20,9 @@ pub struct ChannelId(pub u32);
 pub struct Topology {
     name: String,
     n: usize,
-    adj: Vec<bool>,            // n*n, row-major
+    adj: Vec<bool>, // n*n, row-major
     neighbors: Vec<Vec<ProcId>>,
-    channel: Vec<u32>,         // n*n, u32::MAX = no channel
+    channel: Vec<u32>, // n*n, u32::MAX = no channel
     num_channels: usize,
 }
 

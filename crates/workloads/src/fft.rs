@@ -108,7 +108,10 @@ impl Default for ButterflyConfig {
 /// produced those points.
 pub fn fft_butterfly(cfg: &ButterflyConfig) -> TaskGraph {
     let n = cfg.n;
-    assert!(n >= 2 && n.is_power_of_two(), "N must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "N must be a power of two >= 2"
+    );
     let stages = n.trailing_zeros() as usize;
     let half = n / 2;
     let mut b = TaskGraphBuilder::with_capacity(stages * half, stages * half * 2);
@@ -163,7 +166,11 @@ mod tests {
         let cfg = FftConfig::default();
         let g = fft_recombine(&cfg);
         let m = GraphMetrics::compute(&g);
-        assert!((m.avg_duration_us() - 72.74).abs() < 0.1, "{}", m.avg_duration_us());
+        assert!(
+            (m.avg_duration_us() - 72.74).abs() < 0.1,
+            "{}",
+            m.avg_duration_us()
+        );
         // the per-group spread lengthens the critical path slightly:
         // 40.4 vs the paper's 40.85 (within ~1.2 %)
         assert!((m.max_speedup - 40.85).abs() < 0.5, "{}", m.max_speedup);

@@ -100,7 +100,8 @@ pub fn gauss_jordan(cfg: &GaussJordanConfig) -> TaskGraph {
         }
     }
 
-    b.build().expect("gauss-jordan graph is acyclic by construction")
+    b.build()
+        .expect("gauss-jordan graph is acyclic by construction")
 }
 
 #[cfg(test)]
@@ -128,7 +129,11 @@ mod tests {
         let g = gauss_jordan(&GaussJordanConfig::default());
         let m = GraphMetrics::compute(&g);
         // avg duration ~84.77 us, max speedup ~9.14 (paper values)
-        assert!((m.avg_duration_us() - 84.77).abs() < 0.2, "{}", m.avg_duration_us());
+        assert!(
+            (m.avg_duration_us() - 84.77).abs() < 0.2,
+            "{}",
+            m.avg_duration_us()
+        );
         assert!((m.max_speedup - 9.14).abs() < 0.05, "{}", m.max_speedup);
     }
 

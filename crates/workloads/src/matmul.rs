@@ -91,7 +91,11 @@ mod tests {
         let cfg = MatMulConfig::default();
         let g = matmul(&cfg);
         let m = GraphMetrics::compute(&g);
-        assert!((m.avg_duration_us() - 73.96).abs() < 0.1, "{}", m.avg_duration_us());
+        assert!(
+            (m.avg_duration_us() - 73.96).abs() < 0.1,
+            "{}",
+            m.avg_duration_us()
+        );
         assert!((m.max_speedup - 82.1).abs() < 0.2, "{}", m.max_speedup);
         assert_eq!(
             critical_path_length(&g),

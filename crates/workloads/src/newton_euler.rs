@@ -95,7 +95,8 @@ pub fn newton_euler(cfg: &NewtonEulerConfig) -> TaskGraph {
     // Link constants feed the corresponding ops of link 1.
     if l >= 2 {
         for (j, &s) in setup.iter().enumerate() {
-            b.add_edge(s, fwd[1][j % FORWARD_OPS], cfg.value_comm).unwrap();
+            b.add_edge(s, fwd[1][j % FORWARD_OPS], cfg.value_comm)
+                .unwrap();
         }
     }
 
@@ -111,7 +112,8 @@ pub fn newton_euler(cfg: &NewtonEulerConfig) -> TaskGraph {
         for k in 0..BACKWARD_OPS {
             let t = bwd[i][k];
             // Reads this link's forward results (F_i, N_i components)...
-            b.add_edge(fwd[i][k % FORWARD_OPS], t, cfg.value_comm).unwrap();
+            b.add_edge(fwd[i][k % FORWARD_OPS], t, cfg.value_comm)
+                .unwrap();
             // ...and the next link's backward results (f_{i+1}, n_{i+1}).
             if i + 1 < l {
                 b.add_edge(bwd[i + 1][k], t, cfg.value_comm).unwrap();
@@ -125,7 +127,8 @@ pub fn newton_euler(cfg: &NewtonEulerConfig) -> TaskGraph {
         }
     }
 
-    b.build().expect("newton-euler graph is acyclic by construction")
+    b.build()
+        .expect("newton-euler graph is acyclic by construction")
 }
 
 #[cfg(test)]

@@ -110,7 +110,12 @@ mod tests {
         for row in paper_table1() {
             let predicted = row.cc_ratio * row.avg_duration_us;
             let err = (predicted - row.avg_comm_us).abs() / row.avg_comm_us;
-            assert!(err < 0.02, "{}: {predicted} vs {}", row.program, row.avg_comm_us);
+            assert!(
+                err < 0.02,
+                "{}: {predicted} vs {}",
+                row.program,
+                row.avg_comm_us
+            );
         }
     }
 

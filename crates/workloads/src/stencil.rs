@@ -91,10 +91,7 @@ mod tests {
         let g = stencil(&cfg);
         // layers = anti-diagonals: w + h - 1
         assert_eq!(layers(&g).len(), 10);
-        assert_eq!(
-            critical_path_length(&g),
-            10 * cfg.tile_op
-        );
+        assert_eq!(critical_path_length(&g), 10 * cfg.tile_op);
     }
 
     #[test]

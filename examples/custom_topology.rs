@@ -14,9 +14,15 @@ use annealsched::topology::metrics::TopologyMetrics;
 fn main() {
     // Two 4-node squares bridged by one link: 0-1-2-3 and 4-5-6-7.
     let edges = [
-        (0, 1), (1, 2), (2, 3), (3, 0), // island A
-        (4, 5), (5, 6), (6, 7), (7, 4), // island B
-        (3, 4),                         // the bridge
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0), // island A
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4), // island B
+        (3, 4), // the bridge
     ];
     let host = Topology::from_edges("bridged-islands(8)", 8, &edges);
     println!(
@@ -35,7 +41,10 @@ fn main() {
     let rs = simulate(&program, &host, &params, &mut sa, &SimConfig::default()).unwrap();
     rs.audit(&program).unwrap();
 
-    println!("HLF speedup {:.2}, SA speedup {:.2}", rh.speedup, rs.speedup);
+    println!(
+        "HLF speedup {:.2}, SA speedup {:.2}",
+        rh.speedup, rs.speedup
+    );
     println!("\nper-processor utilization (SA):");
     for p in host.procs() {
         let busy = rs.busy[p.index()] as f64 / rs.makespan as f64;

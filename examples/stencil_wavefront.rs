@@ -42,7 +42,12 @@ fn main() {
          candidate/idle ratio change every epoch; placement-aware schedulers\n\
          keep diagonal neighbors together and save halo messages:"
     );
-    for (name, r) in [("HLF", &rh), ("MCT", &rm), ("SA", &rs), ("static", &st.result)] {
+    for (name, r) in [
+        ("HLF", &rh),
+        ("MCT", &rm),
+        ("SA", &rs),
+        ("static", &st.result),
+    ] {
         println!(
             "  {name:8} messages {:4}  comm overhead {:7.1} us",
             r.comm.messages,

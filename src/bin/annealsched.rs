@@ -94,8 +94,18 @@ fn main() {
             "--topo" => topo_spec = it.next().unwrap_or_else(|| usage()),
             "--scheduler" => scheduler = it.next().unwrap_or_else(|| usage()),
             "--no-comm" => comm = false,
-            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
-            "--wb" => wb = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--wb" => {
+                wb = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--gantt" => want_gantt = true,
             "--dot" => dot_file = Some(it.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
@@ -176,7 +186,10 @@ fn main() {
     );
     if want_gantt {
         println!();
-        print!("{}", render_gantt(&r.gantt, host.num_procs(), &GanttOptions::default()));
+        print!(
+            "{}",
+            render_gantt(&r.gantt, host.num_procs(), &GanttOptions::default())
+        );
     }
     if let Some(path) = dot_file {
         let dot = annealsched::graph::dot::to_dot(&g, &Default::default());

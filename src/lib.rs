@@ -72,8 +72,7 @@ pub mod prelude {
     pub use anneal_graph::{TaskGraph, TaskGraphBuilder, TaskId};
     pub use anneal_sim::{simulate, OnlineScheduler, SimConfig, SimResult};
     pub use anneal_topology::builders::{
-        bus, complete, hypercube, linear, mesh, paper_architectures, ring, shared_bus, star,
-        torus,
+        bus, complete, hypercube, linear, mesh, paper_architectures, ring, shared_bus, star, torus,
     };
     pub use anneal_topology::{CommParams, ProcId, Topology};
     pub use anneal_workloads::{fft_paper, gj_paper, mm_paper, ne_paper, paper_workloads};

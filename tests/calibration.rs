@@ -59,8 +59,14 @@ fn workloads_are_schedulable_on_every_paper_architecture() {
     for (_, g) in paper_workloads() {
         for host in paper_architectures() {
             let mut s = HlfScheduler::new();
-            let r = simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default())
-                .unwrap();
+            let r = simulate(
+                &g,
+                &host,
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap();
             assert!(r.speedup > 1.0);
         }
     }

@@ -13,7 +13,11 @@ fn schedules_builtin_workload() {
         .args(["@ne", "--topo", "hypercube:3", "--scheduler", "sa"])
         .output()
         .expect("run binary");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("95 tasks"));
     assert!(stdout.contains("speedup"));
@@ -59,7 +63,10 @@ fn no_comm_flag_and_alt_schedulers() {
 
 #[test]
 fn rejects_bad_arguments() {
-    let out = bin().args(["@ne", "--topo", "klein-bottle:4"]).output().unwrap();
+    let out = bin()
+        .args(["@ne", "--topo", "klein-bottle:4"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let out = bin().output().unwrap();
     assert!(!out.status.success());

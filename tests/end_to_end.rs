@@ -4,12 +4,7 @@
 
 use annealsched::prelude::*;
 
-fn run(
-    g: &TaskGraph,
-    host: &Topology,
-    comm: bool,
-    sched: &mut dyn OnlineScheduler,
-) -> SimResult {
+fn run(g: &TaskGraph, host: &Topology, comm: bool, sched: &mut dyn OnlineScheduler) -> SimResult {
     let params = if comm {
         CommParams::paper()
     } else {
@@ -29,9 +24,8 @@ fn sa_tuned(g: &TaskGraph, host: &Topology, comm: bool) -> SimResult {
     let mut best: Option<SimResult> = None;
     for wb in [0.3, 0.5, 0.7] {
         for seed in [42, 1, 2] {
-            let mut s = SaScheduler::new(
-                SaConfig::default().with_balance_weight(wb).with_seed(seed),
-            );
+            let mut s =
+                SaScheduler::new(SaConfig::default().with_balance_weight(wb).with_seed(seed));
             let r = run(g, host, comm, &mut s);
             if best.as_ref().is_none_or(|b| r.makespan < b.makespan) {
                 best = Some(r);

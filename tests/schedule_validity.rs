@@ -1,8 +1,8 @@
 //! Schedule-validity audits across the whole evaluation grid and a
 //! battery of random programs: precedence, exclusivity, conservation.
 
-use annealsched::prelude::*;
 use annealsched::graph::generate::{layered_random, LayeredConfig, Range};
+use annealsched::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -61,7 +61,14 @@ fn random_programs_on_random_architectures() {
         );
         let host = &hosts[seed as usize % hosts.len()];
         let mut sa = SaScheduler::new(SaConfig::default().with_seed(seed));
-        let r = simulate(&g, host, &CommParams::paper(), &mut sa, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            host,
+            &CommParams::paper(),
+            &mut sa,
+            &SimConfig::default(),
+        )
+        .unwrap();
         r.audit(&g).unwrap();
         // every task placed on a real processor
         assert!(r.placement.iter().all(|p| p.index() < host.num_procs()));
@@ -83,7 +90,14 @@ fn list_policies_audit_clean() {
         PriorityPolicy::Random(3),
     ] {
         let mut s = ListScheduler::new(policy);
-        let r = simulate(&g, &host, &CommParams::paper(), &mut s, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &g,
+            &host,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
         r.audit(&g).unwrap();
     }
 }
@@ -93,7 +107,14 @@ fn gantt_spans_cover_busy_time_exactly() {
     let g = ne_paper();
     let host = hypercube(3);
     let mut sa = SaScheduler::new(SaConfig::default());
-    let r = simulate(&g, &host, &CommParams::paper(), &mut sa, &SimConfig::default()).unwrap();
+    let r = simulate(
+        &g,
+        &host,
+        &CommParams::paper(),
+        &mut sa,
+        &SimConfig::default(),
+    )
+    .unwrap();
     for p in host.procs() {
         let span_sum: u64 = r.gantt.proc_spans(p).iter().map(|s| s.end - s.start).sum();
         assert_eq!(span_sum, r.busy[p.index()], "busy accounting on {p}");

@@ -1,0 +1,184 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of criterion its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — warm up, then time batches of
+//! iterations until a wall-clock budget is spent, and report the mean
+//! per-iteration time. No statistics, plots or comparison to saved
+//! baselines; the point is that `cargo bench` runs and prints honest
+//! wall-clock numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    measured: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a handful of untimed calls.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.measured = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let per_iter = b.measured.as_nanos() as f64 / b.iters as f64;
+    let (value, unit) = if per_iter >= 1e9 {
+        (per_iter / 1e9, "s")
+    } else if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "µs")
+    } else {
+        (per_iter, "ns")
+    };
+    println!(
+        "{name:<50} time: {value:>10.3} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measured: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    pub fn bench_with_input<S: fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            measured: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Accepted and ignored; the simple harness has a fixed time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored; the simple harness has a fixed time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measured: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,421 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of proptest its tests use: the
+//! [`Strategy`] trait (ranges, tuples, `prop_map`, [`Just`],
+//! `any::<T>()`, `prop::bool::ANY`), the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, [`prop_oneof!`], and the
+//! `prop_assert!`/`prop_assert_eq!` assertion family.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   deterministic case seed) and panics immediately.
+//! * **Deterministic by construction.** Every test derives its case
+//!   seeds from a fixed constant, so failures reproduce exactly and CI
+//!   never flakes. There is no `PROPTEST_CASES`-style env override.
+
+pub mod strategy {
+    use rand::distributions::{Distribution, Uniform};
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// The generator handed to strategies. A concrete type keeps the
+    /// [`Strategy`] trait object-safe for [`BoxedStrategy`].
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy yielding values mapped through a closure.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy yielding one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    Uniform::new(self.start, self.end).sample(rng)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    Uniform::new_inclusive(*self.start(), *self.end()).sample(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy for the full domain of a type (`any::<T>()`).
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+        sampler: fn(&mut TestRng) -> T,
+    }
+
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_sampler() -> fn(&mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary_sampler() -> fn(&mut TestRng) -> Self {
+                    |rng| rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_sampler() -> fn(&mut TestRng) -> Self {
+            |rng| rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+            sampler: T::arbitrary_sampler(),
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (`#![proptest_config(..)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed test case (produced by `prop_assert!` and friends).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Reject the current case with a message. Accepts anything
+        /// printable so `.map_err(TestCaseError::fail)` works with
+        /// `String` and custom error types alike.
+        pub fn fail<M: core::fmt::Display>(message: M) -> Self {
+            TestCaseError {
+                message: message.to_string(),
+            }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            self.message.fmt(f)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Drives the per-case loop of one `proptest!` test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The deterministic generator for case number `case`.
+        /// Derived from a fixed constant so every run (and every CI
+        /// machine) explores the same inputs and failures reproduce by
+        /// case number alone.
+        pub fn case_rng(&self, case: u32) -> TestRng {
+            TestRng::seed_from_u64(0xA55E_55ED_0000_0000 ^ u64::from(case))
+        }
+    }
+}
+
+pub mod prop {
+    /// `prop::bool` — strategies over booleans.
+    pub mod bool {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::RngCore;
+
+        /// The strategy for `bool` (`prop::bool::ANY`).
+        #[derive(Clone, Copy, Debug)]
+        pub struct AnyBool;
+
+        impl Strategy for AnyBool {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+
+        pub const ANY: AnyBool = AnyBool;
+    }
+
+    /// `prop::collection` — strategies over collections.
+    pub mod collection {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with random length in `len` and elements
+        /// from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = if self.len.is_empty() {
+                    self.len.start
+                } else {
+                    rng.gen_range(self.len.clone())
+                };
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-definition macro. Each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($config);
+            $(let $arg = &$strategy;)+
+            for case in 0..runner.cases() {
+                let mut rng = runner.case_rng(case);
+                $(let $arg = $crate::strategy::Strategy::sample($arg, &mut rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        case + 1, runner.cases(), e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+}

@@ -1,0 +1,415 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8 surface).
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the exact slice of `rand` it uses: [`Rng`],
+//! [`SeedableRng`], [`rngs::StdRng`], [`seq::SliceRandom`] and
+//! [`distributions::Uniform`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — fully deterministic from `seed_from_u64`, which is all
+//! the schedulers require (the paper's experiments are seeded runs).
+//!
+//! Deliberately absent: `thread_rng`, `from_entropy` and every other
+//! entropy source. Library code must take explicit seeds; any attempt
+//! to reach for ambient randomness fails to compile.
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Unbiased sample in `[0, bound)` for `bound >= 1` (zone rejection).
+fn u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound >= 1);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Largest multiple of `bound` that fits in u64, minus one.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Uniform f64 in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Sample from `[low, high)` (`inclusive = false`) or `[low, high]`.
+    /// The caller has already rejected empty ranges.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty => $uty:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as $uty).wrapping_sub(low as $uty) as u64;
+                let range = if inclusive { span.wrapping_add(1) } else { span };
+                if inclusive && range == 0 {
+                    // Full domain of a 64-bit type: take raw bits.
+                    return low.wrapping_add(rng.next_u64() as $uty as $ty);
+                }
+                low.wrapping_add(u64_below(rng, range) as $uty as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                low + (high - low) * unit_f64(rng) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range (gen_range called with start >= end)"
+        );
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(
+            low <= high,
+            "cannot sample empty range (gen_range called with start > end)"
+        );
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a `start..end` or `start..=end` range.
+    /// Panics on an empty range, matching upstream `rand`.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    /// Panics unless `0 <= p <= 1`, matching upstream `rand`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p = {p} is outside [0, 1]"
+        );
+        unit_f64(self) < p
+    }
+
+    /// Sample a value from a distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (the upstream
+    /// algorithm), so the same integer always yields the same stream.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the upstream ChaCha12 `StdRng` — streams differ from real
+    /// `rand` — but statistically strong and stable across platforms
+    /// and releases, which is what the reproduction needs.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xB7E1_5162_8AED_2A6B,
+                    0x243F_6A88_85A3_08D3,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{u64_below, Rng};
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        type Item;
+
+        /// A uniformly random element, or `None` on an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[u64_below(rng, self.len() as u64) as usize])
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = u64_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::{RngCore, SampleUniform};
+
+    /// Types that produce values of `T` from a generator.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open or closed interval.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct Uniform<T: SampleUniform> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`. Panics if the range is empty.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new called with low >= high");
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`. Panics if `low > high`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive called with low > high");
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_between(rng, self.low, self.high, self.inclusive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..10);
+            assert!(v < 10);
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let s: i64 = rng.gen_range(-20..-10);
+            assert!((-20..-10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_single_element_and_bool_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // One-element ranges are legal and constant.
+        assert_eq!(rng.gen_range(3..4usize), 3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn uniform_inclusive_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = Uniform::new_inclusive(0u64, 1);
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn slice_random_choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let xs = [1, 2, 3];
+        assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
