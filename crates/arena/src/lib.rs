@@ -1,0 +1,63 @@
+//! # anneal-arena
+//!
+//! A scheduler-portfolio and adversarial-benchmarking subsystem for the
+//! `annealsched` reproduction.
+//!
+//! The paper compares its staged SA scheduler against a single HLF
+//! baseline on four fixed programs. Modern scheduler methodology goes
+//! further in two directions, and this crate provides both:
+//!
+//! * **Portfolio tournaments** ([`portfolio`], [`tournament`]) — a
+//!   [`Portfolio`] registers every scheduler in the workspace (the HLF
+//!   list family, MCT, greedy, HEFT, CPOP, staged SA and whole-graph
+//!   static SA) behind one factory interface, and [`run_tournament`]
+//!   evaluates the full portfolio × instance matrix in parallel with a
+//!   deterministic seed per cell. Results feed `anneal-report`: a
+//!   head-to-head CSV table and an SVG win/loss matrix.
+//! * **Adversarial instance search** ([`adversary`]) — PISA-style
+//!   benchmarking (problem-space search for the instances that separate
+//!   algorithms, rather than a fixed benchmark set):
+//!   [`adversarial_search`] runs simulated annealing over **problem
+//!   space**: starting from a seed task graph it applies the
+//!   acyclicity-preserving perturbation operators of
+//!   `anneal_graph::perturb` (edge rewire, duration/communication
+//!   scaling, fan-out tweaks) and accepts mutations by the Boltzmann
+//!   rule on the **makespan ratio** between a *target* scheduler and
+//!   the best of the rest of the portfolio. The search therefore climbs
+//!   toward instances where the target scheduler loses by the widest
+//!   margin — a generated stress suite for every future scheduling PR.
+//!
+//! Every layer is deterministic given its seeds: tournament cells derive
+//! their seed from (base seed, scheduler index, instance index) via a
+//! SplitMix64-style mixer, the adversary threads one seeded RNG, and
+//! thread-pool sizing never changes results (see
+//! `anneal_core::parallel::run_chunked`).
+//!
+//! ```
+//! use anneal_arena::{run_tournament, standard_instances, Portfolio, TournamentConfig};
+//!
+//! let portfolio = Portfolio::standard();
+//! let instances = standard_instances(7, 2);
+//! let result = run_tournament(&portfolio, &instances, &TournamentConfig::default()).unwrap();
+//! assert_eq!(result.schedulers.len(), portfolio.len());
+//! // every instance has a winner with ratio 1.0
+//! for j in 0..instances.len() {
+//!     let (winner, _) = result.best_for_instance(j);
+//!     assert_eq!(result.ratio(winner, j), 1.0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversary;
+pub mod instance;
+pub mod portfolio;
+pub mod tournament;
+
+pub use adversary::{
+    adversarial_search, makespan_ratio, AdversaryConfig, AdversaryOutcome, RatioBreakdown,
+};
+pub use instance::{paper_instances, smoke_instances, standard_instances, ArenaInstance};
+pub use portfolio::{Portfolio, PortfolioEntry};
+pub use tournament::{run_tournament, TournamentConfig, TournamentResult};

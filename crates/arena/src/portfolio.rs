@@ -1,0 +1,300 @@
+//! The scheduler-portfolio registry.
+//!
+//! A [`PortfolioEntry`] wraps a scheduler behind a factory: given an
+//! instance and a seed it produces a fresh `OnlineScheduler`, so
+//! stateful schedulers (level caches, annealing RNGs) never leak state
+//! between cells of a tournament. Deterministic schedulers simply
+//! ignore the seed. [`Portfolio::standard`] registers every scheduler
+//! in the workspace.
+
+use std::sync::Arc;
+
+use anneal_core::list::{ListScheduler, PriorityPolicy};
+use anneal_core::static_sa::{static_sa, StaticSaConfig};
+use anneal_core::{
+    CpopScheduler, HeftScheduler, HlfScheduler, MctScheduler, SaConfig, SaScheduler,
+};
+use anneal_sim::{simulate, GreedyScheduler, OnlineScheduler, SimError, SimResult};
+
+use crate::instance::ArenaInstance;
+
+type Factory =
+    Arc<dyn Fn(&ArenaInstance, u64) -> Result<Box<dyn OnlineScheduler>, SimError> + Send + Sync>;
+
+/// A named scheduler factory.
+#[derive(Clone)]
+pub struct PortfolioEntry {
+    name: String,
+    factory: Factory,
+}
+
+impl std::fmt::Debug for PortfolioEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortfolioEntry")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PortfolioEntry {
+    /// Wraps an infallible factory. The factory must be deterministic
+    /// in `(instance, seed)` — tournament reproducibility rests on it.
+    pub fn new(
+        name: impl Into<String>,
+        factory: impl Fn(&ArenaInstance, u64) -> Box<dyn OnlineScheduler> + Send + Sync + 'static,
+    ) -> Self {
+        Self::new_fallible(name, move |inst, seed| Ok(factory(inst, seed)))
+    }
+
+    /// Wraps a factory whose construction itself can fail (e.g. static
+    /// SA runs simulations to build its mapping); errors surface through
+    /// [`PortfolioEntry::evaluate`] instead of panicking worker threads.
+    pub fn new_fallible(
+        name: impl Into<String>,
+        factory: impl Fn(&ArenaInstance, u64) -> Result<Box<dyn OnlineScheduler>, SimError>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        PortfolioEntry {
+            name: name.into(),
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// The entry's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds a fresh scheduler for one run.
+    pub fn instantiate(
+        &self,
+        inst: &ArenaInstance,
+        seed: u64,
+    ) -> Result<Box<dyn OnlineScheduler>, SimError> {
+        (self.factory)(inst, seed)
+    }
+
+    /// Builds a scheduler and simulates the instance with it.
+    pub fn evaluate(&self, inst: &ArenaInstance, seed: u64) -> Result<SimResult, SimError> {
+        let mut sched = self.instantiate(inst, seed)?;
+        simulate(
+            &inst.graph,
+            &inst.topology,
+            &inst.params,
+            sched.as_mut(),
+            &inst.sim_cfg,
+        )
+    }
+}
+
+/// An ordered, name-unique collection of portfolio entries.
+#[derive(Debug, Clone, Default)]
+pub struct Portfolio {
+    entries: Vec<PortfolioEntry>,
+}
+
+impl Portfolio {
+    /// An empty portfolio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entry; panics on a duplicate name (tournaments key rows
+    /// by name).
+    pub fn register(&mut self, entry: PortfolioEntry) -> &mut Self {
+        assert!(
+            self.get(entry.name()).is_none(),
+            "duplicate portfolio entry '{}'",
+            entry.name()
+        );
+        self.entries.push(entry);
+        self
+    }
+
+    /// The registered entries, in registration order.
+    pub fn entries(&self) -> &[PortfolioEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entry is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry names in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&PortfolioEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// A portfolio without `name`; used to pit a target against "the
+    /// rest of the field" in adversarial search.
+    pub fn without(&self, name: &str) -> Portfolio {
+        Portfolio {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.name != name)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The cheap deterministic-and-light subset: the full list-scheduler
+    /// family, greedy, MCT, HEFT, CPOP and staged SA. Suitable as the
+    /// adversary's reference field, where every candidate instance costs
+    /// one simulation per entry.
+    pub fn fast() -> Self {
+        let mut p = Portfolio::new();
+        p.register(PortfolioEntry::new("greedy", |_, _| {
+            Box::new(GreedyScheduler)
+        }));
+        p.register(PortfolioEntry::new("hlf", |_, _| {
+            Box::new(HlfScheduler::new())
+        }));
+        // The plain HighestLevelFirst *list* scheduler is a distinct
+        // code path from `HlfScheduler` (its `name()` is also "hlf",
+        // hence the explicit registry name).
+        p.register(PortfolioEntry::new("hlf-list", |_, _| {
+            Box::new(ListScheduler::new(PriorityPolicy::HighestLevelFirst))
+        }));
+        for policy in [
+            PriorityPolicy::HighestLevelFirstComm,
+            PriorityPolicy::LongestTaskFirst,
+            PriorityPolicy::ShortestTaskFirst,
+            PriorityPolicy::Fifo,
+        ] {
+            p.register(PortfolioEntry::new(policy.name(), move |_, _| {
+                Box::new(ListScheduler::new(policy))
+            }));
+        }
+        p.register(PortfolioEntry::new("random-list", |_, seed| {
+            Box::new(ListScheduler::new(PriorityPolicy::Random(seed)))
+        }));
+        p.register(PortfolioEntry::new("hlf-mct", |_, _| {
+            Box::new(MctScheduler::new())
+        }));
+        p.register(PortfolioEntry::new("heft", |_, _| {
+            Box::new(HeftScheduler::new())
+        }));
+        p.register(PortfolioEntry::new("cpop", |_, _| {
+            Box::new(CpopScheduler::new())
+        }));
+        p.register(PortfolioEntry::new("sa", |_, seed| {
+            Box::new(SaScheduler::new(SaConfig::default().with_seed(seed)))
+        }));
+        p
+    }
+
+    /// Every scheduler in the workspace: [`Portfolio::fast`] plus
+    /// whole-graph static SA (each instantiation anneals a complete
+    /// mapping with simulation-in-the-loop cost, then replays it as a
+    /// `FixedMapping` — by far the most expensive entry).
+    pub fn standard() -> Self {
+        let mut p = Self::fast();
+        p.register(PortfolioEntry::new_fallible("static-sa", |inst, seed| {
+            let cfg = StaticSaConfig {
+                // Light settings: a tournament cell is one scheduler
+                // evaluation, not a tuning study.
+                max_iters: 40,
+                stable_iters: 6,
+                seed,
+                ..StaticSaConfig::default()
+            };
+            let outcome = static_sa(
+                &inst.graph,
+                &inst.topology,
+                &inst.params,
+                &inst.sim_cfg,
+                &cfg,
+            )?;
+            Ok(Box::new(anneal_sim::FixedMapping::new(outcome.mapping)))
+        }));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::smoke_instances;
+
+    #[test]
+    fn standard_names_are_unique_and_complete() {
+        let p = Portfolio::standard();
+        let names = p.names();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate names");
+        for expected in [
+            "greedy",
+            "hlf",
+            "hlf-list",
+            "hlf-comm",
+            "lpt",
+            "spt",
+            "fifo",
+            "random-list",
+            "hlf-mct",
+            "heft",
+            "cpop",
+            "sa",
+            "static-sa",
+        ] {
+            assert!(p.get(expected).is_some(), "missing entry {expected}");
+        }
+        assert_eq!(p.len(), 13);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn without_removes_only_the_target() {
+        let p = Portfolio::fast();
+        let rest = p.without("hlf");
+        assert_eq!(rest.len(), p.len() - 1);
+        assert!(rest.get("hlf").is_none());
+        assert!(rest.get("heft").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate portfolio entry")]
+    fn duplicate_names_rejected() {
+        let mut p = Portfolio::new();
+        p.register(PortfolioEntry::new("x", |_, _| Box::new(GreedyScheduler)));
+        p.register(PortfolioEntry::new("x", |_, _| Box::new(GreedyScheduler)));
+    }
+
+    #[test]
+    fn every_entry_produces_a_valid_audited_schedule() {
+        let insts = smoke_instances(5);
+        for entry in Portfolio::standard().entries() {
+            for inst in &insts {
+                let r = entry.evaluate(inst, 42).unwrap();
+                r.audit(&inst.graph)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", entry.name(), inst.name));
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_seed() {
+        let insts = smoke_instances(6);
+        for entry in Portfolio::standard().entries() {
+            let a = entry.evaluate(&insts[0], 9).unwrap().makespan;
+            let b = entry.evaluate(&insts[0], 9).unwrap().makespan;
+            assert_eq!(a, b, "{} not deterministic", entry.name());
+        }
+    }
+}

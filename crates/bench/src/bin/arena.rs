@@ -1,0 +1,79 @@
+//! Portfolio-vs-portfolio tournament over the full scheduler registry.
+//!
+//! Evaluates every scheduler in `Portfolio::standard()` (HLF family,
+//! greedy, MCT, HEFT, CPOP, staged SA, static SA) on a deterministic
+//! instance family and reports the win/loss picture: an ASCII summary
+//! table, a head-to-head CSV (`results/arena.csv`) and an SVG win/loss
+//! matrix (`results/arena_winloss.svg`). All output is a pure function
+//! of the arguments — two runs with the same arguments are
+//! byte-identical, which CI asserts.
+//!
+//! Usage: `arena [random_instances] [seed] [--paper]`
+//!
+//! * `random_instances` — size of the synthetic family (default 6).
+//! * `seed` — base seed for instance generation and every cell
+//!   (default 42).
+//! * `--paper` — additionally include the paper's four programs on
+//!   their Table-2 architectures (slower; static SA anneals a complete
+//!   mapping per cell).
+
+use anneal_arena::{
+    paper_instances, run_tournament, standard_instances, Portfolio, TournamentConfig,
+};
+use anneal_report::csv::f;
+use anneal_report::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let count: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let with_paper = args.iter().any(|a| a == "--paper");
+
+    let portfolio = Portfolio::standard();
+    let mut instances = standard_instances(seed, count);
+    if with_paper {
+        instances.extend(paper_instances());
+    }
+
+    let result = run_tournament(
+        &portfolio,
+        &instances,
+        &TournamentConfig {
+            base_seed: seed,
+            max_threads: 0,
+        },
+    )
+    .expect("tournament run failed");
+
+    let wins = result.wins();
+    let mut table =
+        Table::new(vec!["Scheduler", "Wins", "Mean ratio", "Worst ratio"]).with_title(format!(
+            "Arena: {} schedulers x {} instances (seed {seed})",
+            result.schedulers.len(),
+            result.instances.len()
+        ));
+    for (i, name) in result.schedulers.iter().enumerate() {
+        let ratios: Vec<f64> = (0..result.instances.len())
+            .map(|j| result.ratio(i, j))
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let worst = ratios.iter().cloned().fold(0.0f64, f64::max);
+        table.row(vec![
+            name.clone(),
+            format!("{}/{}", wins[i], result.instances.len()),
+            f(mean, 4),
+            f(worst, 4),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let dir = anneal_bench::results_dir();
+    let csv_path = dir.join("arena.csv");
+    result.to_csv().write_to(&csv_path).expect("write csv");
+    let svg_path = dir.join("arena_winloss.svg");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(&svg_path, result.win_loss_svg()).expect("write svg");
+    println!("wrote {}", csv_path.display());
+    println!("wrote {}", svg_path.display());
+}

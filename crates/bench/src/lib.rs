@@ -15,6 +15,7 @@
 //! | `anomalies` | §6b — Graham anomalies: list vs SA vs optimal |
 //! | `random_survey` | §6 — HLF and SA vs exact optimum on random graphs |
 //! | `ablations` | cooling / acceptance / weights / contention studies |
+//! | `arena` | portfolio tournament over every scheduler (`anneal-arena`): win/loss CSV + SVG |
 //!
 //! This library holds the shared experiment runners so the binaries and
 //! the Criterion benches stay thin.

@@ -1,0 +1,184 @@
+//! A CPOP-style critical-path-on-one-processor scheduler.
+//!
+//! Critical-Path-on-a-Processor (Topcuoglu et al.) prioritizes tasks by
+//! `rank_t + rank_b` (top level plus bottom level, both including
+//! communication) and pins every critical-path task to a single
+//! dedicated processor, eliminating all communication along the longest
+//! path; the remaining tasks are placed by earliest finish time. This
+//! adaptation uses the eq. 4 communication model for both the ranks and
+//! the EFT estimate, and picks the most *central* processor (minimum
+//! total hop distance, ties to the lowest id) as the critical-path
+//! host — on a hypercube every node qualifies, on a star the hub wins.
+//!
+//! Online semantics: a ready critical-path task waits until the host
+//! processor is idle (it never spills elsewhere); other ready tasks are
+//! dispatched to the remaining idle processors by EFT.
+
+use anneal_graph::levels::{bottom_levels_with_comm, top_levels_with_comm};
+use anneal_graph::{TaskId, Work};
+use anneal_sim::{EpochContext, OnlineScheduler};
+use anneal_topology::ProcId;
+
+use crate::heft::estimated_finish;
+
+#[derive(Debug, Clone)]
+struct CpopState {
+    priority: Vec<Work>,
+    on_cp: Vec<bool>,
+    cp_proc: ProcId,
+}
+
+/// Critical-path-on-one-processor scheduling with EFT placement for
+/// off-path tasks.
+#[derive(Debug, Default, Clone)]
+pub struct CpopScheduler {
+    state: Option<CpopState>,
+}
+
+impl CpopScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn init_state(ctx: &EpochContext<'_>) -> CpopState {
+    let tl = top_levels_with_comm(ctx.graph);
+    let bl = bottom_levels_with_comm(ctx.graph);
+    let priority: Vec<Work> = tl.iter().zip(&bl).map(|(&a, &b)| a + b).collect();
+    let cp = priority.iter().copied().max().unwrap_or(0);
+    // Every task whose tl + bl sum attains the critical-path length lies
+    // on some critical path; integer arithmetic makes equality exact.
+    let on_cp: Vec<bool> = priority.iter().map(|&p| p == cp).collect();
+    let cp_proc = ctx
+        .topology
+        .procs()
+        .min_by_key(|&p| {
+            let total: u64 = ctx
+                .topology
+                .procs()
+                .map(|q| ctx.routes.distance(p, q) as u64)
+                .sum();
+            (total, p)
+        })
+        .expect("topology has at least one processor");
+    CpopState {
+        priority,
+        on_cp,
+        cp_proc,
+    }
+}
+
+impl OnlineScheduler for CpopScheduler {
+    fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
+        let state = self.state.get_or_insert_with(|| init_state(ctx));
+        let mut ranked: Vec<TaskId> = ctx.ready.to_vec();
+        ranked.sort_by_key(|&t| (std::cmp::Reverse(state.priority[t.index()]), t));
+        let mut free: Vec<ProcId> = ctx.idle.to_vec();
+        for &t in &ranked {
+            if free.is_empty() {
+                break;
+            }
+            if state.on_cp[t.index()] {
+                // Critical-path tasks only ever run on the host.
+                if let Some(i) = free.iter().position(|&q| q == state.cp_proc) {
+                    out.push((t, free.swap_remove(i)));
+                }
+                continue;
+            }
+            let (bi, _) = free
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (i, estimated_finish(ctx, t, q)))
+                .min_by_key(|&(i, eft)| (eft, free[i]))
+                .expect("free is non-empty");
+            out.push((t, free.swap_remove(bi)));
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cpop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_graph::units::us;
+    use anneal_graph::TaskGraphBuilder;
+    use anneal_sim::{simulate, SimConfig};
+    use anneal_topology::builders::{ring, star};
+    use anneal_topology::CommParams;
+
+    /// A chain with a heavy comm spine plus side tasks.
+    fn spine() -> anneal_graph::TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = b.add_task(us(10.0));
+        for _ in 0..4 {
+            let next = b.add_task(us(10.0));
+            b.add_edge(prev, next, us(20.0)).unwrap();
+            // a cheap side task hanging off each spine node
+            let side = b.add_task(us(3.0));
+            b.add_edge(prev, side, us(1.0)).unwrap();
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn critical_path_stays_on_one_processor() {
+        let g = spine();
+        let mut s = CpopScheduler::new();
+        let r = simulate(
+            &g,
+            &ring(4),
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        r.audit(&g).unwrap();
+        // The spine (ids 0,1,3,5,7) all share one processor: zero
+        // communication along the critical path.
+        let spine_ids = [0usize, 1, 3, 5, 7];
+        let host = r.placement[0];
+        for &i in &spine_ids {
+            assert_eq!(r.placement[i], host, "spine task t{i} left the host");
+        }
+    }
+
+    #[test]
+    fn star_hub_hosts_the_critical_path() {
+        let g = spine();
+        let topo = star(5); // proc 0 is the hub (distance 1 to all)
+        let mut s = CpopScheduler::new();
+        let r = simulate(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &mut s,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        r.audit(&g).unwrap();
+        assert_eq!(r.placement[0].index(), 0, "hub should host the path");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = spine();
+        let run = || {
+            let mut s = CpopScheduler::new();
+            simulate(
+                &g,
+                &ring(4),
+                &CommParams::paper(),
+                &mut s,
+                &SimConfig::default(),
+            )
+            .unwrap()
+            .makespan
+        };
+        assert_eq!(run(), run());
+    }
+}

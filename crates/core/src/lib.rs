@@ -43,6 +43,9 @@
 //!   staged algorithm.
 //! * [`mct`] — HLF ranking with greedy minimum-eq.4 placement, isolating
 //!   the value of placement awareness from stochastic search.
+//! * [`heft`] / [`cpop`] — HEFT-style earliest-finish-time and
+//!   CPOP-style critical-path-on-one-processor heuristics, adapted to
+//!   the eq. 4 communication model (portfolio rivals for `anneal-arena`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -52,6 +55,8 @@ pub mod anomaly;
 pub mod boltzmann;
 pub mod cooling;
 pub mod cost;
+pub mod cpop;
+pub mod heft;
 pub mod hlf;
 pub mod list;
 pub mod mapping;
@@ -63,6 +68,8 @@ pub mod sa;
 pub mod static_sa;
 pub mod trace;
 
+pub use cpop::CpopScheduler;
+pub use heft::HeftScheduler;
 pub use hlf::HlfScheduler;
 pub use mct::MctScheduler;
 pub use sa::{SaConfig, SaScheduler, SaStats};

@@ -1,17 +1,78 @@
-//! Multi-restart SA across threads.
+//! Multi-restart SA across threads, plus the shared chunked job runner.
 //!
 //! Simulated annealing is stochastic; independent restarts with
 //! different seeds explore different basins, and the per-packet runs are
 //! embarrassingly parallel across restarts. `best_of_restarts` runs one
-//! full schedule-and-simulate per seed on its own thread (std scoped
-//! threads; no shared mutable state) and keeps the best makespan —
-//! deterministic given the seed list.
+//! full schedule-and-simulate per seed (std scoped threads; no shared
+//! mutable state) and keeps the best makespan — deterministic given the
+//! seed list.
+//!
+//! [`run_chunked`] is the underlying fan-out primitive: it executes `n`
+//! independent jobs on at most `max_threads` worker threads (strided
+//! assignment, results gathered by job index) so callers never spawn one
+//! thread per job. The arena tournament runner (`anneal-arena`) reuses
+//! it for its portfolio × instance matrix.
 
 use anneal_graph::TaskGraph;
 use anneal_sim::{simulate, SimConfig, SimError, SimResult};
 use anneal_topology::{CommParams, Topology};
 
 use crate::sa::{SaConfig, SaScheduler};
+
+/// The default thread cap: the machine's available parallelism (1 when
+/// it cannot be determined).
+pub fn default_max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` independent jobs across at most `max_threads` scoped
+/// worker threads (`0` means [`default_max_threads`]) and returns the
+/// results in job order. Worker `w` handles jobs `w, w + T, w + 2T, …`
+/// — the assignment is deterministic, so any per-job seeding stays
+/// reproducible regardless of the thread cap.
+pub fn run_chunked<T, F>(jobs: usize, max_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = if max_threads == 0 {
+        default_max_threads()
+    } else {
+        max_threads
+    }
+    .min(jobs);
+    let f = &f;
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(jobs).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < jobs {
+                        out.push((i, f(i)));
+                        i += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index is covered by exactly one worker"))
+        .collect()
+}
 
 /// Outcome of a restart sweep.
 #[derive(Debug, Clone)]
@@ -24,8 +85,9 @@ pub struct RestartOutcome {
     pub all_makespans: Vec<u64>,
 }
 
-/// Runs one full SA schedule per seed (in parallel) and returns the best
-/// by makespan; ties break toward the earlier seed in `seeds`.
+/// Runs one full SA schedule per seed (in parallel, capped at the
+/// machine's available parallelism) and returns the best by makespan;
+/// ties break toward the earlier seed in `seeds`.
 pub fn best_of_restarts(
     graph: &TaskGraph,
     topology: &Topology,
@@ -34,21 +96,26 @@ pub fn best_of_restarts(
     seeds: &[u64],
     sim_cfg: &SimConfig,
 ) -> Result<RestartOutcome, SimError> {
+    best_of_restarts_capped(graph, topology, params, base, seeds, sim_cfg, 0)
+}
+
+/// [`best_of_restarts`] with an explicit thread cap (`0` =
+/// [`default_max_threads`]). The outcome is identical for every cap —
+/// only the degree of concurrency changes.
+#[allow(clippy::too_many_arguments)]
+pub fn best_of_restarts_capped(
+    graph: &TaskGraph,
+    topology: &Topology,
+    params: &CommParams,
+    base: &SaConfig,
+    seeds: &[u64],
+    sim_cfg: &SimConfig,
+    max_threads: usize,
+) -> Result<RestartOutcome, SimError> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let results: Vec<Result<SimResult, SimError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                scope.spawn(move || {
-                    let mut sched = SaScheduler::new(base.clone().with_seed(seed));
-                    simulate(graph, topology, params, &mut sched, sim_cfg)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("no panic"))
-            .collect()
+    let results: Vec<Result<SimResult, SimError>> = run_chunked(seeds.len(), max_threads, |i| {
+        let mut sched = SaScheduler::new(base.clone().with_seed(seeds[i]));
+        simulate(graph, topology, params, &mut sched, sim_cfg)
     });
 
     let mut best: Option<(usize, SimResult)> = None;
@@ -134,6 +201,40 @@ mod tests {
         assert_eq!(a.result.makespan, b.result.makespan);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.all_makespans, b.all_makespans);
+    }
+
+    #[test]
+    fn thread_cap_does_not_change_outcome() {
+        let g = sample_graph();
+        let topo = hypercube(3);
+        let run = |cap: usize| {
+            best_of_restarts_capped(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &SaConfig::default(),
+                &[3, 4, 5, 6, 7],
+                &SimConfig::default(),
+                cap,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let capped = run(2);
+        let wide = run(0);
+        assert_eq!(serial.all_makespans, capped.all_makespans);
+        assert_eq!(serial.all_makespans, wide.all_makespans);
+        assert_eq!(serial.seed, wide.seed);
+    }
+
+    #[test]
+    fn run_chunked_orders_and_covers() {
+        for cap in [0, 1, 2, 7, 64] {
+            let out = run_chunked(13, cap, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>(), "cap {cap}");
+        }
+        assert!(run_chunked(0, 3, |i| i).is_empty());
+        assert!(default_max_threads() >= 1);
     }
 
     #[test]

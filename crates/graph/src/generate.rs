@@ -34,7 +34,8 @@ impl Range {
         Range { min, max }
     }
 
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Work {
+    /// Draws a uniform value from the range.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Work {
         if self.min == self.max {
             self.min
         } else {

@@ -65,6 +65,26 @@ pub fn top_levels(g: &TaskGraph) -> Vec<Work> {
     lv
 }
 
+/// Top levels including edge communication weights on the path:
+/// `tl_i = max_j (tl_j + r_j + w_ji)` over predecessors `j`.
+///
+/// Together with [`bottom_levels_with_comm`] this gives the classic
+/// `rank_t + rank_b` priority used by CPOP-style critical-path
+/// heuristics.
+pub fn top_levels_with_comm(g: &TaskGraph) -> Vec<Work> {
+    let mut lv = vec![0; g.num_tasks()];
+    for &t in g.topo_order() {
+        let best = g
+            .predecessors(t)
+            .iter()
+            .map(|e| lv[e.target.index()] + g.load(e.target) + e.weight)
+            .max()
+            .unwrap_or(0);
+        lv[t.index()] = best;
+    }
+    lv
+}
+
 /// Co-levels (hop depth): number of edges on the longest path from a root.
 /// Layer 0 holds the roots.
 pub fn co_levels(g: &TaskGraph) -> Vec<u32> {
@@ -149,6 +169,27 @@ mod tests {
         let g = diamond();
         // a: 0; b: 10; c: 10; d: max(10+20, 10+30)=40.
         assert_eq!(top_levels(&g), vec![0, 10, 10, 40]);
+    }
+
+    #[test]
+    fn top_levels_with_comm_diamond() {
+        let g = diamond();
+        // a: 0; b: 0+10+1=11; c: 0+10+2=12; d: max(11+20+3, 12+30+4)=46.
+        assert_eq!(top_levels_with_comm(&g), vec![0, 11, 12, 46]);
+    }
+
+    #[test]
+    fn rank_sum_is_constant_on_critical_path() {
+        let g = diamond();
+        let tl = top_levels_with_comm(&g);
+        let bl = bottom_levels_with_comm(&g);
+        // The a -> c -> d path is critical (length 86); its tasks share
+        // the maximal tl + bl sum.
+        let sums: Vec<_> = (0..4).map(|i| tl[i] + bl[i]).collect();
+        assert_eq!(sums[0], 86);
+        assert_eq!(sums[2], 86);
+        assert_eq!(sums[3], 86);
+        assert!(sums[1] < 86);
     }
 
     #[test]

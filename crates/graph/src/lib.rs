@@ -16,6 +16,8 @@
 //!   level `n_i` (eq. 3 context),
 //! * critical-path analysis ([`critical_path`]),
 //! * seeded random-graph generators ([`generate`]),
+//! * acyclicity-preserving perturbation operators for adversarial
+//!   instance search ([`perturb`]),
 //! * traversal helpers, transitive closure/reduction, Graphviz and plain
 //!   text export.
 //!
@@ -46,6 +48,7 @@ pub mod generate;
 pub mod ids;
 pub mod levels;
 pub mod metrics;
+pub mod perturb;
 pub mod textio;
 pub mod topo;
 pub mod transitive;

@@ -1,0 +1,134 @@
+//! Degenerate-shape regressions and property tests for the DAG
+//! perturbation operators: no panics on any shape, and the acyclicity
+//! invariant holds under arbitrary operator sequences.
+
+use anneal_graph::generate::{chain, gnp_dag, layered_random, LayeredConfig, Range};
+use anneal_graph::perturb::{perturb, DagEdit, PerturbConfig, PerturbOp, MAX_PERTURBED_NS};
+use anneal_graph::topo::is_topological_order;
+use anneal_graph::{TaskGraph, TaskGraphBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hammer(g: &TaskGraph, seed: u64, rounds: usize) -> TaskGraph {
+    let mut edit = DagEdit::from_graph(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = PerturbConfig::default();
+    for _ in 0..rounds {
+        perturb(&mut edit, &cfg, &mut rng);
+    }
+    edit.build()
+}
+
+/// An empty graph cannot exist (`TaskGraphBuilder::build` rejects it),
+/// so the smallest perturbable shape is a single task: every structural
+/// operator must decline without panicking and the edit must still
+/// freeze back into a valid graph.
+#[test]
+fn single_task_graph_is_a_clean_no_op() {
+    let mut b = TaskGraphBuilder::new();
+    b.add_task(42);
+    let g = b.build().unwrap();
+    let mut edit = DagEdit::from_graph(&g);
+    let mut rng = StdRng::seed_from_u64(1);
+    assert!(!edit.rewire_edge(&mut rng));
+    assert!(!edit.scale_comm(0.5, 2.0, &mut rng));
+    assert!(!edit.add_edge(Range::constant(1), &mut rng));
+    assert!(!edit.remove_edge(&mut rng));
+    // the only live operator on a single task is load scaling
+    assert!(edit.scale_load(0.5, 2.0, &mut rng));
+    let rebuilt = edit.build();
+    assert_eq!(rebuilt.num_tasks(), 1);
+    assert_eq!(rebuilt.num_edges(), 0);
+    // the full mixture also survives (falls through to scale_load)
+    let out = hammer(&g, 2, 50);
+    assert_eq!(out.num_tasks(), 1);
+}
+
+#[test]
+fn two_task_chain_survives_the_mixture() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = chain(2, Range::constant(10), Range::constant(2), &mut rng);
+    let out = hammer(&g, 4, 100);
+    assert_eq!(out.num_tasks(), 2);
+    assert!(is_topological_order(&out, out.topo_order()));
+}
+
+#[test]
+fn long_chain_stays_acyclic() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = chain(12, Range::new(1, 100), Range::new(0, 10), &mut rng);
+    let out = hammer(&g, 6, 300);
+    assert!(is_topological_order(&out, out.topo_order()));
+    assert_eq!(out.num_tasks(), 12);
+}
+
+/// A transitively complete DAG has saturated fan-out: `add_edge` and
+/// `rewire_edge` must decline, the rest must keep working.
+#[test]
+fn saturated_fanout_declines_structural_growth() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = gnp_dag(7, 1.0, Range::constant(5), Range::constant(1), &mut rng);
+    let mut edit = DagEdit::from_graph(&g);
+    assert!(!edit.add_edge(Range::constant(1), &mut rng));
+    assert!(!edit.rewire_edge(&mut rng));
+    assert!(edit.scale_comm(0.5, 2.0, &mut rng));
+    assert!(edit.remove_edge(&mut rng));
+    // after removing one edge, growth is possible again
+    assert!(edit.add_edge(Range::constant(1), &mut rng));
+    let out = hammer(&g, 8, 200);
+    assert!(is_topological_order(&out, out.topo_order()));
+}
+
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (any::<u64>(), 1usize..30, 0.0f64..1.0, 0u8..3).prop_map(|(seed, n, p, style)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match style {
+            0 => gnp_dag(n, p, Range::new(1, 1_000), Range::new(0, 500), &mut rng),
+            1 => chain(n, Range::new(1, 1_000), Range::new(0, 500), &mut rng),
+            _ => layered_random(
+                &LayeredConfig {
+                    layers: 1 + n % 5,
+                    width: 1 + n / 5,
+                    edge_prob: p,
+                    load: Range::new(1, 1_000),
+                    comm: Range::new(0, 500),
+                },
+                &mut rng,
+            ),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary operator sequences on arbitrary DAGs never panic, never
+    /// change the task count, keep every weight in bounds and — the core
+    /// invariant — always rebuild into an acyclic graph.
+    #[test]
+    fn acyclicity_invariant_holds(g in arb_dag(), seed in any::<u64>()) {
+        let out = hammer(&g, seed, 40);
+        prop_assert_eq!(out.num_tasks(), g.num_tasks());
+        prop_assert!(is_topological_order(&out, out.topo_order()));
+        prop_assert!(out.loads().iter().all(|&l| (1..=MAX_PERTURBED_NS).contains(&l)));
+        prop_assert!(out.edges().all(|(_, _, w)| w <= MAX_PERTURBED_NS));
+    }
+
+    /// The mixture always finds some applicable operator (scale_load can
+    /// never be blocked), and individual operators report honestly: a
+    /// `true` return means the edit changed.
+    #[test]
+    fn perturb_always_applies_something(g in arb_dag(), seed in any::<u64>()) {
+        let mut edit = DagEdit::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let op = perturb(&mut edit, &PerturbConfig::default(), &mut rng);
+        prop_assert!(op.is_some());
+        if let Some(PerturbOp::AddEdge) = op {
+            prop_assert_eq!(edit.num_edges(), g.num_edges() + 1);
+        }
+        if let Some(PerturbOp::RemoveEdge) = op {
+            prop_assert_eq!(edit.num_edges(), g.num_edges() - 1);
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! Plain-text reporting for the `annealsched` reproduction: ASCII
 //! tables (Tables 1 and 2), multi-series line charts (Figure 1), Gantt
-//! rendering of simulation traces as text and SVG (Figure 2) and a
+//! rendering of simulation traces as text and SVG (Figure 2), an SVG
+//! win/loss matrix for scheduler tournaments (`anneal-arena`) and a
 //! minimal CSV writer for machine-readable experiment output.
 
 #![warn(missing_docs)]
@@ -13,9 +14,11 @@ pub mod csv;
 pub mod gantt;
 pub mod svg;
 pub mod table;
+pub mod winloss;
 
 pub use chart::{Chart, Series};
 pub use csv::Csv;
 pub use gantt::render_gantt;
 pub use svg::render_svg;
 pub use table::Table;
+pub use winloss::{render_win_loss_matrix, WinLossOptions};

@@ -22,6 +22,9 @@
 //!   eq. 3–6 cost, heat-bath acceptance), HLF and list baselines, exact
 //!   branch-and-bound, Graham anomaly instances.
 //! * [`report`] — ASCII tables/charts/Gantt and CSV output.
+//! * [`arena`] — scheduler-portfolio tournaments and PISA-style
+//!   adversarial instance search (win/loss matrices, generated stress
+//!   instances).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@
 //! result.audit(&program).unwrap();
 //! ```
 
+pub use anneal_arena as arena;
 pub use anneal_core as core;
 pub use anneal_graph as graph;
 pub use anneal_report as report;
@@ -60,11 +64,17 @@ pub use anneal_workloads as workloads;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use anneal_arena::{
+        adversarial_search, makespan_ratio, run_tournament, standard_instances, AdversaryConfig,
+        ArenaInstance, Portfolio, PortfolioEntry, TournamentConfig,
+    };
     pub use anneal_core::boltzmann::AcceptanceRule;
     pub use anneal_core::cooling::CoolingSchedule;
     pub use anneal_core::list::{ListScheduler, PriorityPolicy};
     pub use anneal_core::static_sa::{static_sa, StaticSaConfig};
-    pub use anneal_core::{HlfScheduler, MctScheduler, SaConfig, SaScheduler};
+    pub use anneal_core::{
+        CpopScheduler, HeftScheduler, HlfScheduler, MctScheduler, SaConfig, SaScheduler,
+    };
     pub use anneal_graph::critical_path::{critical_path_length, max_speedup};
     pub use anneal_graph::levels::bottom_levels;
     pub use anneal_graph::metrics::GraphMetrics;

@@ -1,10 +1,77 @@
-//! Schedule-validity audits across the whole evaluation grid and a
-//! battery of random programs: precedence, exclusivity, conservation.
+//! Schedule-validity audits: one generic harness that iterates the full
+//! scheduler-portfolio registry, so every scheduler in the workspace —
+//! including newcomers, which only need a `PortfolioEntry` — gets
+//! precedence/placement-validity, conservation and determinism checks
+//! for free; plus the original paper-grid and Gantt-accounting checks.
 
+use annealsched::arena::{smoke_instances, standard_instances};
 use annealsched::graph::generate::{layered_random, LayeredConfig, Range};
 use annealsched::prelude::*;
+use annealsched::sim::SimResult;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The shared audit battery: paper invariants (via `SimResult::audit`),
+/// placement bounds and compute-time conservation.
+fn full_audit(r: &SimResult, inst: &ArenaInstance, who: &str) {
+    r.audit(&inst.graph)
+        .unwrap_or_else(|e| panic!("{who} on {}: {e}", inst.name));
+    assert!(
+        r.placement
+            .iter()
+            .all(|p| p.index() < inst.topology.num_procs()),
+        "{who} on {}: task placed on a non-existent processor",
+        inst.name
+    );
+    assert_eq!(
+        r.compute_ns(),
+        inst.graph.total_work(),
+        "{who} on {}: compute time does not equal total work",
+        inst.name
+    );
+}
+
+/// Every registry entry, on every instance of a mixed family (synthetic
+/// shapes × topologies plus a paper workload), produces a valid
+/// schedule.
+#[test]
+fn portfolio_registry_audits_clean() {
+    let portfolio = Portfolio::standard();
+    let mut instances = standard_instances(31, 4);
+    instances.push(ArenaInstance::new("GJ-hc8", gj_paper(), hypercube(3)));
+    for inst in &instances {
+        for entry in portfolio.entries() {
+            let r = entry.evaluate(inst, 17).unwrap();
+            full_audit(&r, inst, entry.name());
+        }
+    }
+}
+
+/// Identical `(instance, seed)` gives identical schedules for every
+/// registry entry — stochastic schedulers must be seed-reproducible.
+#[test]
+fn portfolio_registry_is_deterministic() {
+    let portfolio = Portfolio::standard();
+    for inst in &smoke_instances(23) {
+        for entry in portfolio.entries() {
+            let a = entry.evaluate(inst, 40).unwrap();
+            let b = entry.evaluate(inst, 40).unwrap();
+            assert_eq!(
+                a.makespan,
+                b.makespan,
+                "{} not deterministic on {}",
+                entry.name(),
+                inst.name
+            );
+            assert_eq!(
+                a.placement,
+                b.placement,
+                "{} placement drifted",
+                entry.name()
+            );
+        }
+    }
+}
 
 #[test]
 fn paper_grid_audits_clean() {
@@ -47,6 +114,7 @@ fn random_programs_on_random_architectures() {
         linear(3),
         torus(3, 3),
     ];
+    let portfolio = Portfolio::fast();
     for seed in 0..6u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = layered_random(
@@ -59,46 +127,12 @@ fn random_programs_on_random_architectures() {
             },
             &mut rng,
         );
-        let host = &hosts[seed as usize % hosts.len()];
-        let mut sa = SaScheduler::new(SaConfig::default().with_seed(seed));
-        let r = simulate(
-            &g,
-            host,
-            &CommParams::paper(),
-            &mut sa,
-            &SimConfig::default(),
-        )
-        .unwrap();
-        r.audit(&g).unwrap();
-        // every task placed on a real processor
-        assert!(r.placement.iter().all(|p| p.index() < host.num_procs()));
-        // busy time conservation: compute part equals total work
-        assert_eq!(r.compute_ns(), g.total_work());
-    }
-}
-
-#[test]
-fn list_policies_audit_clean() {
-    let g = gj_paper();
-    let host = hypercube(3);
-    for policy in [
-        PriorityPolicy::HighestLevelFirst,
-        PriorityPolicy::HighestLevelFirstComm,
-        PriorityPolicy::LongestTaskFirst,
-        PriorityPolicy::ShortestTaskFirst,
-        PriorityPolicy::Fifo,
-        PriorityPolicy::Random(3),
-    ] {
-        let mut s = ListScheduler::new(policy);
-        let r = simulate(
-            &g,
-            &host,
-            &CommParams::paper(),
-            &mut s,
-            &SimConfig::default(),
-        )
-        .unwrap();
-        r.audit(&g).unwrap();
+        let host = hosts[seed as usize % hosts.len()].clone();
+        let inst = ArenaInstance::new(format!("random{seed}"), g, host);
+        for entry in portfolio.entries() {
+            let r = entry.evaluate(&inst, seed).unwrap();
+            full_audit(&r, &inst, entry.name());
+        }
     }
 }
 
