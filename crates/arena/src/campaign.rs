@@ -1,0 +1,425 @@
+//! Sharded, resumable large-scale tournaments ("campaigns").
+//!
+//! PR 2's [`run_tournament`](crate::run_tournament) evaluates one
+//! in-process matrix; a **campaign** scales the same portfolio ×
+//! instance evaluation to 1000+ generated instances by splitting the
+//! matrix into `shards` independently runnable chunks:
+//!
+//! * [`campaign_instance`] deterministically generates instance `i` of
+//!   a parameterized family (six graph shapes × three size tiers ×
+//!   three communication intensities × eight host topologies) from
+//!   `(family_seed, i)` alone, so any shard can materialize exactly its
+//!   own columns without generating the rest;
+//! * [`shard_columns`] assigns instance indices to shards in strides,
+//!   and [`run_shard`] evaluates one shard's cells with the seed
+//!   derived from the **global** instance index — the cell values are
+//!   invariant under re-sharding;
+//! * each [`ShardResult`] serializes to one CSV artifact
+//!   ([`ShardResult::to_csv`]); a campaign is *resumed* by skipping
+//!   shards whose artifact already exists, and *merged* by
+//!   [`anneal_report::merge_shard_csvs`] — order-independent and
+//!   byte-reproducible, so two runs of the same campaign produce
+//!   byte-identical standings no matter how work was scheduled.
+//!
+//! The `campaign` binary in `anneal-bench` drives the whole pipeline
+//! from the command line; `docs/ARCHITECTURE.md` shows where it sits in
+//! the crate graph.
+
+use anneal_core::parallel::run_chunked;
+use anneal_graph::generate::{
+    chain, fork_join, gnp_dag, independent, layered_random, series_parallel, LayeredConfig, Range,
+};
+use anneal_graph::units::us;
+use anneal_report::Csv;
+use anneal_sim::SimError;
+use anneal_topology::builders::{binary_tree, bus, hypercube, linear, mesh, ring, star, torus};
+use anneal_topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::instance::ArenaInstance;
+use crate::portfolio::Portfolio;
+use crate::tournament::cell_seed;
+
+/// Salt separating instance-generation seeds from tournament cell
+/// seeds that share the same base seed.
+const FAMILY_SALT: u64 = 0x5eed_fa41_11e5_0000;
+
+/// Campaign shape: how many instances, how they are sharded, and how
+/// cells are seeded.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Total number of generated instances (campaign columns).
+    pub instances: usize,
+    /// Number of shards the columns are split across.
+    pub shards: usize,
+    /// Base seed for both instance generation and cell evaluation.
+    pub base_seed: u64,
+    /// Thread cap for the per-shard cell fan-out (`0` = available
+    /// parallelism). Does not affect results.
+    pub max_threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            instances: 1000,
+            shards: 8,
+            base_seed: 42,
+            max_threads: 0,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Validates the shape; called by [`run_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or `instances < shards` (an empty
+    /// shard would produce a headerless artifact).
+    pub fn validate(&self) {
+        assert!(self.shards > 0, "campaign needs at least one shard");
+        assert!(
+            self.instances >= self.shards,
+            "campaign needs at least one instance per shard ({} instances / {} shards)",
+            self.instances,
+            self.shards
+        );
+    }
+}
+
+/// Deterministically generates instance `i` of the campaign family.
+///
+/// The family sweeps, all as pure functions of `(family_seed, i)`:
+///
+/// * **shape** (round-robin `i % 6`, so every prefix covers all
+///   shapes evenly): layered, G(n,p), fork-join, series-parallel,
+///   chain, independent tasks;
+/// * **host**: 8-hypercube, 5-ring, 4-bus, 3×2 mesh, 3×3 torus,
+///   4-line, 6-star, 7-node binary tree;
+/// * **communication intensity**: low, medium, high edge weights
+///   against a common load range;
+/// * **size tier**: roughly 10–60 tasks.
+///
+/// Host, intensity and size are drawn from *independent bit-fields of
+/// a per-index hash*, not from `i` modulo their cardinality — moduli
+/// that share factors with the shape stride would alias (e.g. `i % 3`
+/// is fully determined by `i % 6`, so layered graphs would never see
+/// high communication). Every shape therefore meets every host and
+/// every intensity across a large family. The structure (shape, host,
+/// intensity, size) depends on `i` alone; `family_seed` only drives
+/// the load/weight/edge randomness, so two family seeds are comparable
+/// instance by instance.
+pub fn campaign_instance(family_seed: u64, i: usize) -> ArenaInstance {
+    let mut rng = StdRng::seed_from_u64(cell_seed(family_seed ^ FAMILY_SALT, i as u64, 0));
+    let mix = cell_seed(FAMILY_SALT, i as u64, 1);
+    let load = Range::new(us(2.0), us(60.0));
+    let comm = match (mix >> 8) % 3 {
+        0 => Range::new(us(0.5), us(4.0)),
+        1 => Range::new(us(1.0), us(12.0)),
+        _ => Range::new(us(4.0), us(40.0)),
+    };
+    let scale = 1 + ((mix >> 16) % 3) as usize;
+    let g = match i % 6 {
+        0 => layered_random(
+            &LayeredConfig {
+                layers: 2 + scale,
+                width: 2 + 2 * scale,
+                edge_prob: 0.35,
+                load,
+                comm,
+            },
+            &mut rng,
+        ),
+        1 => gnp_dag(12 * scale, 0.18, load, comm, &mut rng),
+        2 => fork_join(4 + 3 * scale, load, comm, &mut rng),
+        3 => series_parallel(6 + 4 * scale, load, comm, &mut rng),
+        4 => chain(6 + 5 * scale, load, comm, &mut rng),
+        _ => independent(8 + 4 * scale, load, &mut rng),
+    };
+    let (topo, tname): (Topology, &str) = match (mix >> 24) % 8 {
+        0 => (hypercube(3), "hc8"),
+        1 => (ring(5), "ring5"),
+        2 => (bus(4), "bus4"),
+        3 => (mesh(3, 2), "mesh3x2"),
+        4 => (torus(3, 3), "torus3x3"),
+        5 => (linear(4), "lin4"),
+        6 => (star(6), "star6"),
+        _ => (binary_tree(7), "btree7"),
+    };
+    let shape = ["layered", "gnp", "forkjoin", "sp", "chain", "indep"][i % 6];
+    let n = g.num_tasks();
+    ArenaInstance::new(format!("c{i:04}-{shape}{n}-{tname}"), g, topo)
+}
+
+/// Generates the whole family `0..count` in memory. Prefer
+/// per-shard generation ([`run_shard`] does this internally) for large
+/// campaigns.
+pub fn campaign_instances(family_seed: u64, count: usize) -> Vec<ArenaInstance> {
+    (0..count)
+        .map(|i| campaign_instance(family_seed, i))
+        .collect()
+}
+
+/// The global instance indices shard `shard` is responsible for:
+/// `shard, shard + shards, shard + 2*shards, ...` (strided so every
+/// shard sees the same mix of shapes and sizes).
+///
+/// # Panics
+///
+/// Panics when `shard >= shards`.
+pub fn shard_columns(instances: usize, shards: usize, shard: usize) -> Vec<usize> {
+    assert!(
+        shard < shards,
+        "shard {shard} out of range (shards {shards})"
+    );
+    (shard..instances).step_by(shards).collect()
+}
+
+/// One shard's slice of the campaign matrix, ready for persistence.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Which shard this is.
+    pub shard: usize,
+    /// Scheduler names, in portfolio order (shared CSV header).
+    pub schedulers: Vec<String>,
+    /// Global instance indices, ascending.
+    pub columns: Vec<usize>,
+    /// Instance names, parallel to `columns`.
+    pub instances: Vec<String>,
+    /// `makespans[c][i]` — scheduler `i` on local column `c`, in ns.
+    pub makespans: Vec<Vec<u64>>,
+}
+
+impl ShardResult {
+    /// The shard artifact: header
+    /// `instance_index,instance,<schedulers...>`, one row per column,
+    /// sorted by ascending global index. Serialized by the same writer
+    /// as `MergedCampaign::matrix_csv` and merged back with
+    /// [`anneal_report::merge_shard_csvs`].
+    pub fn to_csv(&self) -> Csv {
+        anneal_report::render_matrix_csv(
+            &self.schedulers,
+            self.columns.iter().enumerate().map(|(c, &col)| {
+                (
+                    col as u64,
+                    self.instances[c].as_str(),
+                    self.makespans[c].as_slice(),
+                )
+            }),
+        )
+    }
+}
+
+/// The canonical artifact file name for a shard (`shard-007.csv`).
+pub fn shard_file_name(shard: usize) -> String {
+    format!("shard-{shard:03}.csv")
+}
+
+/// Runs shard `shard` of the campaign: generates exactly this shard's
+/// instances and evaluates every portfolio entry on each, in parallel.
+///
+/// Cell `(entry e, global column j)` uses seed
+/// `cell_seed(base_seed, e, j)` — the *global* index, not the
+/// shard-local one — so a cell's makespan is identical whether the
+/// campaign ran as 1 shard or 100. The first simulation error aborts
+/// the shard.
+pub fn run_shard(
+    portfolio: &Portfolio,
+    cfg: &CampaignConfig,
+    shard: usize,
+) -> Result<ShardResult, SimError> {
+    cfg.validate();
+    assert!(!portfolio.is_empty(), "empty portfolio");
+    let columns = shard_columns(cfg.instances, cfg.shards, shard);
+    let instances: Vec<ArenaInstance> = columns
+        .iter()
+        .map(|&j| campaign_instance(cfg.base_seed, j))
+        .collect();
+    let rows = portfolio.len();
+    let cols = columns.len();
+    let cells: Vec<Result<u64, SimError>> = run_chunked(rows * cols, cfg.max_threads, |k| {
+        let (e, c) = (k / cols, k % cols);
+        let seed = cell_seed(cfg.base_seed, e as u64, columns[c] as u64);
+        portfolio.entries()[e]
+            .evaluate(&instances[c], seed)
+            .map(|r| r.makespan)
+    });
+    let mut makespans = vec![vec![0u64; rows]; cols];
+    for (k, cell) in cells.into_iter().enumerate() {
+        makespans[k % cols][k / cols] = cell?;
+    }
+    Ok(ShardResult {
+        shard,
+        schedulers: portfolio.names(),
+        columns,
+        instances: instances.into_iter().map(|i| i.name).collect(),
+        makespans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::PortfolioEntry;
+    use anneal_core::{HeftScheduler, HlfScheduler};
+    use anneal_report::merge_shard_csvs;
+    use anneal_sim::GreedyScheduler;
+
+    fn tiny_portfolio() -> Portfolio {
+        let mut p = Portfolio::new();
+        p.register(PortfolioEntry::new("hlf", |_, _| {
+            Box::new(HlfScheduler::new())
+        }));
+        p.register(PortfolioEntry::new("heft", |_, _| {
+            Box::new(HeftScheduler::new())
+        }));
+        p.register(PortfolioEntry::new("greedy", |_, _| {
+            Box::new(GreedyScheduler)
+        }));
+        p
+    }
+
+    #[test]
+    fn family_is_deterministic_and_prefix_stable() {
+        let a = campaign_instances(9, 12);
+        let b = campaign_instances(9, 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph.loads(), y.graph.loads());
+        }
+        // instance i never depends on the family size
+        let solo = campaign_instance(9, 7);
+        assert_eq!(solo.name, a[7].name);
+        assert_eq!(solo.graph.loads(), a[7].graph.loads());
+        // different family seeds give different programs
+        let c = campaign_instance(10, 7);
+        assert_ne!(a[7].graph.loads(), c.graph.loads());
+    }
+
+    #[test]
+    fn family_sweeps_shapes_and_hosts() {
+        let insts = campaign_instances(3, 24);
+        let shapes: std::collections::HashSet<&str> = insts
+            .iter()
+            .map(|i| i.name.split('-').nth(1).unwrap())
+            .collect();
+        assert!(shapes.len() >= 12, "24 instances should sweep many shapes");
+        let hosts: std::collections::HashSet<&str> = insts
+            .iter()
+            .map(|i| i.name.rsplit('-').next().unwrap())
+            .collect();
+        assert_eq!(hosts.len(), 8, "all eight topologies appear");
+        // names are CSV-safe
+        assert!(insts.iter().all(|i| !i.name.contains(',')));
+    }
+
+    #[test]
+    fn shape_and_host_dimensions_are_not_aliased() {
+        // Host/intensity/size come from hashed bits, not `i mod k`, so
+        // every shape must meet every host — a `i % 6` vs `i % 8`
+        // scheme would confine even shapes to even hosts forever.
+        let mut pairs = std::collections::HashSet::new();
+        for i in 0..240 {
+            let inst = campaign_instance(3, i);
+            let shape = i % 6;
+            let host = inst.name.rsplit('-').next().unwrap().to_string();
+            pairs.insert((shape, host));
+        }
+        assert_eq!(pairs.len(), 6 * 8, "all shape x host combinations occur");
+    }
+
+    #[test]
+    fn shard_columns_partition_the_family() {
+        let mut seen = [false; 10];
+        for s in 0..3 {
+            for c in shard_columns(10, 3, s) {
+                assert!(!seen[c], "column {c} assigned twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every column assigned");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_panics() {
+        shard_columns(10, 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance per shard")]
+    fn more_shards_than_instances_panics() {
+        let cfg = CampaignConfig {
+            instances: 2,
+            shards: 3,
+            ..CampaignConfig::default()
+        };
+        let _ = run_shard(&tiny_portfolio(), &cfg, 0);
+    }
+
+    #[test]
+    fn resharding_and_thread_caps_do_not_change_the_merge() {
+        let p = tiny_portfolio();
+        let base = CampaignConfig {
+            instances: 6,
+            shards: 1,
+            base_seed: 11,
+            max_threads: 1,
+        };
+        let whole = run_shard(&p, &base, 0).unwrap();
+        let merged_whole = merge_shard_csvs(&[whole.to_csv().as_str()]).unwrap();
+
+        let split = CampaignConfig {
+            shards: 3,
+            max_threads: 0,
+            ..base.clone()
+        };
+        // run shards out of order on purpose
+        let parts: Vec<String> = [2usize, 0, 1]
+            .iter()
+            .map(|&s| {
+                run_shard(&p, &split, s)
+                    .unwrap()
+                    .to_csv()
+                    .as_str()
+                    .to_string()
+            })
+            .collect();
+        let merged_split = merge_shard_csvs(&parts).unwrap();
+
+        assert_eq!(merged_whole, merged_split);
+        assert_eq!(
+            merged_whole.matrix_csv().as_str(),
+            merged_split.matrix_csv().as_str()
+        );
+        assert_eq!(
+            merged_whole.standings_csv().as_str(),
+            merged_split.standings_csv().as_str()
+        );
+        assert_eq!(merged_whole.num_instances(), 6);
+    }
+
+    #[test]
+    fn shard_csv_shape() {
+        let p = tiny_portfolio();
+        let cfg = CampaignConfig {
+            instances: 5,
+            shards: 2,
+            base_seed: 4,
+            max_threads: 1,
+        };
+        let r = run_shard(&p, &cfg, 1).unwrap();
+        assert_eq!(r.columns, vec![1, 3]);
+        let text = r.to_csv().as_str().to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "instance_index,instance,hlf,heft,greedy");
+        assert!(lines[1].starts_with("1,c0001-"));
+        assert!(lines[2].starts_with("3,c0003-"));
+        // every makespan is a real schedule length
+        assert!(r.makespans.iter().flatten().all(|&m| m > 0));
+        assert_eq!(shard_file_name(1), "shard-001.csv");
+    }
+}

@@ -26,6 +26,19 @@
 //!   the best of the rest of the portfolio. The search therefore climbs
 //!   toward instances where the target scheduler loses by the widest
 //!   margin — a generated stress suite for every future scheduling PR.
+//! * **Sharded campaigns** ([`campaign`]) — the tournament at scale:
+//!   [`campaign_instance`] generates instance `i` of a parameterized
+//!   1000+ family from `(seed, i)` alone, [`run_shard`] evaluates one
+//!   independently runnable chunk of the portfolio × instance matrix
+//!   (cell seeds use *global* instance indices, so results are
+//!   invariant under re-sharding), and per-shard CSV artifacts merge
+//!   order-independently via `anneal_report::merge_shard_csvs`.
+//! * **Frozen regression corpus** ([`corpus`]) — adversarial finds,
+//!   persisted: a [`FrozenInstance`] stores a task graph plus replay
+//!   metadata (topology spec, communication model, provenance) in the
+//!   versioned `.tgi` text format, and `tests/corpus_regression.rs`
+//!   fails any PR that makes a portfolio scheduler measurably worse on
+//!   a checked-in instance (see `docs/CORPUS_FORMAT.md`).
 //!
 //! Every layer is deterministic given its seeds: tournament cells derive
 //! their seed from (base seed, scheduler index, instance index) via a
@@ -51,12 +64,22 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adversary;
+pub mod campaign;
+pub mod corpus;
 pub mod instance;
 pub mod portfolio;
 pub mod tournament;
 
 pub use adversary::{
     adversarial_search, makespan_ratio, AdversaryConfig, AdversaryOutcome, RatioBreakdown,
+};
+pub use campaign::{
+    campaign_instance, campaign_instances, run_shard, shard_columns, shard_file_name,
+    CampaignConfig, ShardResult,
+};
+pub use corpus::{
+    load_corpus_dir, parse_params, parse_topology, regression_seed, CorpusError, FrozenInstance,
+    CORPUS_EXTENSION, REGRESSION_TOLERANCE,
 };
 pub use instance::{paper_instances, smoke_instances, standard_instances, ArenaInstance};
 pub use portfolio::{Portfolio, PortfolioEntry};

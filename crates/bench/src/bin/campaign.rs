@@ -1,0 +1,206 @@
+//! Sharded 1000-instance campaign runner with resumable shards and an
+//! incremental, byte-reproducible merge.
+//!
+//! A campaign evaluates a scheduler portfolio on a large generated
+//! instance family (`anneal_arena::campaign_instance`), split into
+//! shards that can run in separate invocations — or separate machines —
+//! and merge deterministically:
+//!
+//! * each shard writes `shard-<k>.csv` into the campaign directory;
+//!   an existing artifact is **skipped**, which is what makes a partial
+//!   campaign resumable (delete a shard file to force a re-run);
+//! * when every shard artifact is present, the runner merges them into
+//!   `matrix.csv` (the full portfolio × instance matrix, sorted by
+//!   global instance index) and `standings.csv` (per-scheduler wins and
+//!   ratio aggregates) via `anneal_report::merge_shard_csvs` — the
+//!   merge is order-independent and byte-identical across runs;
+//! * cell seeds derive from the *global* instance index, so the matrix
+//!   is invariant under re-sharding: `--shards 1` and `--shards 100`
+//!   agree cell for cell.
+//!
+//! Usage: `campaign [instances] [shards] [seed] [--full] [--shard K]
+//! [--merge-only] [--dir PATH]`
+//!
+//! * `instances` — family size (default 1000).
+//! * `shards` — shard count (default 8).
+//! * `seed` — base seed for generation and evaluation (default 42).
+//! * `--full` — use `Portfolio::standard()` including whole-graph
+//!   static SA (much slower; default is `Portfolio::fast()`).
+//! * `--shard K` — run only shard `K`, then merge if all artifacts
+//!   exist (for driving shards from separate processes).
+//! * `--merge-only` — skip running, only merge existing artifacts.
+//! * `--dir PATH` — campaign directory (default `results/campaign`).
+
+use std::path::PathBuf;
+
+use anneal_arena::{run_shard, shard_file_name, CampaignConfig, Portfolio};
+use anneal_report::{merge_shard_csvs, Table};
+
+struct Args {
+    cfg: CampaignConfig,
+    full: bool,
+    only_shard: Option<usize>,
+    merge_only: bool,
+    dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<u64> = Vec::new();
+    let mut full = false;
+    let mut only_shard = None;
+    let mut merge_only = false;
+    let mut dir = PathBuf::from("results/campaign");
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--merge-only" => merge_only = true,
+            "--shard" => {
+                let k = it.next().and_then(|v| v.parse().ok());
+                only_shard = Some(k.expect("--shard needs an index"));
+            }
+            "--dir" => {
+                dir = PathBuf::from(it.next().expect("--dir needs a path"));
+            }
+            other => match other.parse() {
+                Ok(v) => positional.push(v),
+                Err(_) => panic!("unknown argument {other:?}"),
+            },
+        }
+    }
+    let cfg = CampaignConfig {
+        instances: positional.first().map(|&v| v as usize).unwrap_or(1000),
+        shards: positional.get(1).map(|&v| v as usize).unwrap_or(8),
+        base_seed: positional.get(2).copied().unwrap_or(42),
+        max_threads: 0,
+    };
+    Args {
+        cfg,
+        full,
+        only_shard,
+        merge_only,
+        dir,
+    }
+}
+
+/// The campaign directory's provenance stamp. Shard artifacts carry no
+/// parameters of their own, so resuming must refuse to mix artifacts
+/// produced under different settings — a shard computed with another
+/// seed would merge cleanly (same header, same shape) into a silently
+/// wrong matrix.
+fn provenance(cfg: &CampaignConfig, full: bool) -> String {
+    format!(
+        "instances={}\nshards={}\nseed={}\nportfolio={}\n",
+        cfg.instances,
+        cfg.shards,
+        cfg.base_seed,
+        if full { "standard" } else { "fast" }
+    )
+}
+
+fn check_provenance(dir: &std::path::Path, expected: &str) {
+    let path = dir.join("campaign.meta");
+    match std::fs::read_to_string(&path) {
+        Ok(found) if found == expected => {}
+        Ok(found) => panic!(
+            "{} was produced with different parameters:\n--- existing\n{found}--- requested\n{expected}\
+             Delete the directory (or its shard-*.csv files and campaign.meta) to start over.",
+            dir.display()
+        ),
+        Err(_) => std::fs::write(&path, expected).expect("write campaign.meta"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    args.cfg.validate();
+    let portfolio = if args.full {
+        Portfolio::standard()
+    } else {
+        Portfolio::fast()
+    };
+    std::fs::create_dir_all(&args.dir).expect("create campaign dir");
+    check_provenance(&args.dir, &provenance(&args.cfg, args.full));
+
+    if !args.merge_only {
+        let shards: Vec<usize> = match args.only_shard {
+            Some(k) => {
+                assert!(k < args.cfg.shards, "--shard {k} out of range");
+                vec![k]
+            }
+            None => (0..args.cfg.shards).collect(),
+        };
+        for k in shards {
+            let path = args.dir.join(shard_file_name(k));
+            if path.exists() {
+                println!("shard {k}: {} exists, skipping (resume)", path.display());
+                continue;
+            }
+            let r = run_shard(&portfolio, &args.cfg, k).expect("shard run failed");
+            r.to_csv().write_to(&path).expect("write shard csv");
+            println!(
+                "shard {k}: {} instances x {} schedulers -> {}",
+                r.columns.len(),
+                r.schedulers.len(),
+                path.display()
+            );
+        }
+    }
+
+    // Incremental merge: only when every shard artifact is present.
+    let mut shard_texts = Vec::new();
+    let mut missing = Vec::new();
+    for k in 0..args.cfg.shards {
+        match std::fs::read_to_string(args.dir.join(shard_file_name(k))) {
+            Ok(text) => shard_texts.push(text),
+            Err(_) => missing.push(k),
+        }
+    }
+    if !missing.is_empty() {
+        println!(
+            "merge deferred: {}/{} shard artifacts present (missing {missing:?})",
+            shard_texts.len(),
+            args.cfg.shards
+        );
+        return;
+    }
+    let merged = merge_shard_csvs(&shard_texts).expect("shard artifacts are inconsistent");
+    assert_eq!(
+        merged.num_instances(),
+        args.cfg.instances,
+        "merged instance count must match the campaign"
+    );
+    let matrix_path = args.dir.join("matrix.csv");
+    let standings_path = args.dir.join("standings.csv");
+    merged
+        .matrix_csv()
+        .write_to(&matrix_path)
+        .expect("write matrix");
+    merged
+        .standings_csv()
+        .write_to(&standings_path)
+        .expect("write standings");
+
+    let standings = merged.standings_csv();
+    let mut table = Table::new(vec![
+        "Scheduler",
+        "Instances",
+        "Wins",
+        "Mean ratio",
+        "Worst ratio",
+    ])
+    .with_title(format!(
+        "Campaign: {} schedulers x {} instances, {} shards (seed {})",
+        merged.schedulers.len(),
+        merged.num_instances(),
+        args.cfg.shards,
+        args.cfg.base_seed
+    ));
+    for line in standings.as_str().lines().skip(1) {
+        table.row(line.split(',').map(String::from).collect());
+    }
+    print!("{}", table.render());
+    println!("wrote {}", matrix_path.display());
+    println!("wrote {}", standings_path.display());
+}

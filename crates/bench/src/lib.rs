@@ -16,6 +16,8 @@
 //! | `random_survey` | §6 — HLF and SA vs exact optimum on random graphs |
 //! | `ablations` | cooling / acceptance / weights / contention studies |
 //! | `arena` | portfolio tournament over every scheduler (`anneal-arena`): win/loss CSV + SVG |
+//! | `campaign` | sharded 1000-instance tournament with resumable shards and a byte-reproducible merge |
+//! | `corpus_gen` | regenerates the frozen adversarial regression corpus (`corpus/`) and its baseline |
 //!
 //! This library holds the shared experiment runners so the binaries and
 //! the Criterion benches stay thin.

@@ -18,6 +18,26 @@
 //! All operators take an explicit RNG and return `false` (leaving the
 //! edit untouched) when no legal mutation exists — degenerate shapes
 //! (single task, saturated fan-out, no edges) are no-ops, never panics.
+//!
+//! ```
+//! use anneal_graph::builder::TaskGraphBuilder;
+//! use anneal_graph::perturb::{perturb, DagEdit, PerturbConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut b = TaskGraphBuilder::new();
+//! let a = b.add_task(1_000);
+//! let c = b.add_task(2_000);
+//! b.add_edge(a, c, 50).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let mut edit = DagEdit::from_graph(&g);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let applied = perturb(&mut edit, &PerturbConfig::default(), &mut rng);
+//! assert!(applied.is_some(), "a 2-task DAG always admits a mutation");
+//! let mutated = edit.build(); // cannot fail: acyclic by construction
+//! assert_eq!(mutated.num_tasks(), g.num_tasks());
+//! ```
 
 use std::collections::HashSet;
 

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors the slice of proptest its tests use: the
-//! [`Strategy`] trait (ranges, tuples, `prop_map`, [`Just`],
-//! `any::<T>()`, `prop::bool::ANY`), the [`proptest!`] macro with
+//! [`Strategy`](strategy::Strategy) trait (ranges, tuples, `prop_map`,
+//! [`Just`](strategy::Just), `any::<T>()`, `prop::bool::ANY`), the
+//! [`proptest!`] macro with
 //! `#![proptest_config(..)]`, [`prop_oneof!`], and the
 //! `prop_assert!`/`prop_assert_eq!` assertion family.
 //!
@@ -82,7 +83,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
