@@ -17,9 +17,15 @@
 //! concrete counterexamples to "the target is never worse"; the best
 //! instance found is returned for regression suites and Gantt autopsies.
 //!
-//! Every candidate costs one simulation per portfolio entry; rival
+//! Every candidate costs one evaluation per portfolio entry; rival
 //! evaluations fan out over `anneal_core::parallel::run_chunked`, and
-//! identical seeds give identical searches.
+//! identical seeds give identical searches. Cell evaluation goes
+//! through [`PortfolioEntry::evaluate`](crate::PortfolioEntry), so
+//! mapping-producing entries (whole-graph static SA) are priced by
+//! `anneal-core`'s shared evaluator layer — with the incremental
+//! kernel, putting static SA in the field no longer dominates the
+//! search's cost, and the `--evaluator` toggle cannot change a ratio
+//! (only how fast it is computed).
 
 use anneal_core::boltzmann::{accept, AcceptanceRule};
 use anneal_core::cooling::CoolingSchedule;
@@ -264,6 +270,34 @@ mod tests {
             b.target_makespan as f64 / b.best_rival_makespan as f64
         );
         assert!(b.best_rival == "heft" || b.best_rival == "hlf-mct");
+    }
+
+    #[test]
+    fn ratio_is_evaluator_kind_invariant() {
+        use anneal_core::EvaluatorKind;
+        let inst = &smoke_instances(3)[0];
+        let with_static = |kind| {
+            let mut p = duel_portfolio();
+            p.register(
+                Portfolio::standard_with(kind)
+                    .get("static-sa")
+                    .unwrap()
+                    .clone(),
+            );
+            p
+        };
+        let a = makespan_ratio(&with_static(EvaluatorKind::Full), "static-sa", inst, 5, 1).unwrap();
+        let b = makespan_ratio(
+            &with_static(EvaluatorKind::Incremental),
+            "static-sa",
+            inst,
+            5,
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.ratio, b.ratio);
+        assert_eq!(a.target_makespan, b.target_makespan);
+        assert_eq!(a.best_rival_makespan, b.best_rival_makespan);
     }
 
     #[test]

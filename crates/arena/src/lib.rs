@@ -12,8 +12,13 @@
 //!   list family, MCT, greedy, HEFT, CPOP, staged SA and whole-graph
 //!   static SA) behind one factory interface, and [`run_tournament`]
 //!   evaluates the full portfolio × instance matrix in parallel with a
-//!   deterministic seed per cell. Results feed `anneal-report`: a
-//!   head-to-head CSV table and an SVG win/loss matrix.
+//!   deterministic seed per cell. Mapping-producing entries (static SA)
+//!   are evaluated through `anneal-core`'s shared evaluation layer —
+//!   [`Portfolio::standard_with`] picks the
+//!   [`EvaluatorKind`](anneal_core::EvaluatorKind) (full replay vs the
+//!   incremental kernel; bit-identical results, very different cost).
+//!   Results feed `anneal-report`: a head-to-head CSV table and an SVG
+//!   win/loss matrix.
 //! * **Adversarial instance search** ([`adversary`]) — PISA-style
 //!   benchmarking (problem-space search for the instances that separate
 //!   algorithms, rather than a fixed benchmark set):
@@ -82,5 +87,5 @@ pub use corpus::{
     CORPUS_EXTENSION, REGRESSION_TOLERANCE,
 };
 pub use instance::{paper_instances, smoke_instances, standard_instances, ArenaInstance};
-pub use portfolio::{Portfolio, PortfolioEntry};
+pub use portfolio::{MappedSchedule, Portfolio, PortfolioEntry};
 pub use tournament::{run_tournament, TournamentConfig, TournamentResult};

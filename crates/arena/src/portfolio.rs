@@ -1,37 +1,80 @@
 //! The scheduler-portfolio registry.
 //!
-//! A [`PortfolioEntry`] wraps a scheduler behind a factory: given an
-//! instance and a seed it produces a fresh `OnlineScheduler`, so
-//! stateful schedulers (level caches, annealing RNGs) never leak state
-//! between cells of a tournament. Deterministic schedulers simply
-//! ignore the seed. [`Portfolio::standard`] registers every scheduler
-//! in the workspace.
+//! A [`PortfolioEntry`] wraps a scheduler behind a factory, so stateful
+//! schedulers (level caches, annealing RNGs) never leak state between
+//! cells of a tournament. Deterministic schedulers simply ignore the
+//! seed. Entries come in two flavors:
+//!
+//! * **online** ([`PortfolioEntry::new`] /
+//!   [`PortfolioEntry::new_fallible`]) — the factory produces a fresh
+//!   `OnlineScheduler` that is driven epoch by epoch through
+//!   [`simulate`];
+//! * **mapped** ([`PortfolioEntry::new_mapped`]) — the factory
+//!   produces a complete static schedule ([`MappedSchedule`]), and the
+//!   cell is evaluated through the shared
+//!   [`anneal_core::replay_mapping`] helper — the same evaluation layer
+//!   whole-graph annealing prices its moves with, so there is exactly
+//!   one "replay a mapping through the engine" implementation in the
+//!   workspace.
+//!
+//! [`Portfolio::standard`] registers every scheduler in the workspace;
+//! [`Portfolio::standard_with`] selects which
+//! [`EvaluatorKind`] static SA prices its annealing moves with (the
+//! results are bit-identical either way — the kind only changes speed).
 
 use std::sync::Arc;
 
 use anneal_core::list::{ListScheduler, PriorityPolicy};
 use anneal_core::static_sa::{static_sa, StaticSaConfig};
 use anneal_core::{
-    CpopScheduler, HeftScheduler, HlfScheduler, MctScheduler, SaConfig, SaScheduler,
+    level_dispatch_order, replay_mapping, CpopScheduler, EvaluatorKind, HeftScheduler,
+    HlfScheduler, MctScheduler, SaConfig, SaScheduler,
 };
-use anneal_sim::{simulate, GreedyScheduler, OnlineScheduler, SimError, SimResult};
+use anneal_sim::{simulate, FixedMapping, GreedyScheduler, OnlineScheduler, SimError, SimResult};
+use anneal_topology::ProcId;
 
 use crate::instance::ArenaInstance;
 
-type Factory =
+type OnlineFactory =
     Arc<dyn Fn(&ArenaInstance, u64) -> Result<Box<dyn OnlineScheduler>, SimError> + Send + Sync>;
+type MappedFactory =
+    Arc<dyn Fn(&ArenaInstance, u64) -> Result<MappedSchedule, SimError> + Send + Sync>;
+
+/// A precomputed static schedule: a complete task→processor mapping
+/// plus an optional dispatch priority (lower first; defaults to task-id
+/// order), replayed through [`anneal_core::replay_mapping`].
+#[derive(Debug, Clone)]
+pub struct MappedSchedule {
+    /// `mapping[t]` is the processor of task `t`.
+    pub mapping: Vec<ProcId>,
+    /// Optional dispatch priority per task.
+    pub order: Option<Vec<u64>>,
+}
+
+#[derive(Clone)]
+enum EntryImpl {
+    Online(OnlineFactory),
+    Mapped(MappedFactory),
+}
 
 /// A named scheduler factory.
 #[derive(Clone)]
 pub struct PortfolioEntry {
     name: String,
-    factory: Factory,
+    imp: EntryImpl,
 }
 
 impl std::fmt::Debug for PortfolioEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PortfolioEntry")
             .field("name", &self.name)
+            .field(
+                "kind",
+                &match self.imp {
+                    EntryImpl::Online(_) => "online",
+                    EntryImpl::Mapped(_) => "mapped",
+                },
+            )
             .finish_non_exhaustive()
     }
 }
@@ -46,9 +89,9 @@ impl PortfolioEntry {
         Self::new_fallible(name, move |inst, seed| Ok(factory(inst, seed)))
     }
 
-    /// Wraps a factory whose construction itself can fail (e.g. static
-    /// SA runs simulations to build its mapping); errors surface through
-    /// [`PortfolioEntry::evaluate`] instead of panicking worker threads.
+    /// Wraps a factory whose construction itself can fail; errors
+    /// surface through [`PortfolioEntry::evaluate`] instead of
+    /// panicking worker threads.
     pub fn new_fallible(
         name: impl Into<String>,
         factory: impl Fn(&ArenaInstance, u64) -> Result<Box<dyn OnlineScheduler>, SimError>
@@ -58,7 +101,23 @@ impl PortfolioEntry {
     ) -> Self {
         PortfolioEntry {
             name: name.into(),
-            factory: Arc::new(factory),
+            imp: EntryImpl::Online(Arc::new(factory)),
+        }
+    }
+
+    /// Wraps a factory that computes a complete static schedule (e.g.
+    /// whole-graph annealing). The cell is evaluated through the shared
+    /// [`anneal_core::replay_mapping`] path.
+    pub fn new_mapped(
+        name: impl Into<String>,
+        factory: impl Fn(&ArenaInstance, u64) -> Result<MappedSchedule, SimError>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        PortfolioEntry {
+            name: name.into(),
+            imp: EntryImpl::Mapped(Arc::new(factory)),
         }
     }
 
@@ -67,25 +126,53 @@ impl PortfolioEntry {
         &self.name
     }
 
-    /// Builds a fresh scheduler for one run.
+    /// Builds a fresh scheduler for one run (mapped entries replay as a
+    /// [`FixedMapping`]).
     pub fn instantiate(
         &self,
         inst: &ArenaInstance,
         seed: u64,
     ) -> Result<Box<dyn OnlineScheduler>, SimError> {
-        (self.factory)(inst, seed)
+        match &self.imp {
+            EntryImpl::Online(f) => f(inst, seed),
+            EntryImpl::Mapped(f) => {
+                let ms = f(inst, seed)?;
+                let mut fm = FixedMapping::new(ms.mapping);
+                if let Some(order) = ms.order {
+                    fm = fm.with_order(order);
+                }
+                Ok(Box::new(fm))
+            }
+        }
     }
 
-    /// Builds a scheduler and simulates the instance with it.
+    /// Evaluates the instance with this entry: online schedulers are
+    /// driven through [`simulate`], mapped schedules replay through
+    /// [`anneal_core::replay_mapping`].
     pub fn evaluate(&self, inst: &ArenaInstance, seed: u64) -> Result<SimResult, SimError> {
-        let mut sched = self.instantiate(inst, seed)?;
-        simulate(
-            &inst.graph,
-            &inst.topology,
-            &inst.params,
-            sched.as_mut(),
-            &inst.sim_cfg,
-        )
+        match &self.imp {
+            EntryImpl::Online(f) => {
+                let mut sched = f(inst, seed)?;
+                simulate(
+                    &inst.graph,
+                    &inst.topology,
+                    &inst.params,
+                    sched.as_mut(),
+                    &inst.sim_cfg,
+                )
+            }
+            EntryImpl::Mapped(f) => {
+                let ms = f(inst, seed)?;
+                replay_mapping(
+                    &inst.graph,
+                    &inst.topology,
+                    &inst.params,
+                    &inst.sim_cfg,
+                    ms.mapping,
+                    ms.order,
+                )
+            }
+        }
     }
 }
 
@@ -198,29 +285,48 @@ impl Portfolio {
     }
 
     /// Every scheduler in the workspace: [`Portfolio::fast`] plus
-    /// whole-graph static SA (each instantiation anneals a complete
-    /// mapping with simulation-in-the-loop cost, then replays it as a
-    /// `FixedMapping` — by far the most expensive entry).
+    /// whole-graph static SA as a *mapped* entry (each cell anneals a
+    /// complete mapping with simulated-makespan cost, then replays it
+    /// through the shared evaluation layer). Uses the default
+    /// (incremental) move evaluator; see [`Portfolio::standard_with`].
     pub fn standard() -> Self {
+        Self::standard_with(EvaluatorKind::default())
+    }
+
+    /// [`Portfolio::standard`] with an explicit [`EvaluatorKind`] for
+    /// static SA's move pricing. `Full` and `Incremental` produce
+    /// bit-identical cells (asserted by tests and the CI arena smoke);
+    /// only the evaluation speed differs.
+    pub fn standard_with(evaluator: EvaluatorKind) -> Self {
         let mut p = Self::fast();
-        p.register(PortfolioEntry::new_fallible("static-sa", |inst, seed| {
-            let cfg = StaticSaConfig {
-                // Light settings: a tournament cell is one scheduler
-                // evaluation, not a tuning study.
-                max_iters: 40,
-                stable_iters: 6,
-                seed,
-                ..StaticSaConfig::default()
-            };
-            let outcome = static_sa(
-                &inst.graph,
-                &inst.topology,
-                &inst.params,
-                &inst.sim_cfg,
-                &cfg,
-            )?;
-            Ok(Box::new(anneal_sim::FixedMapping::new(outcome.mapping)))
-        }));
+        p.register(PortfolioEntry::new_mapped(
+            "static-sa",
+            move |inst, seed| {
+                let cfg = StaticSaConfig {
+                    // Light settings: a tournament cell is one scheduler
+                    // evaluation, not a tuning study.
+                    max_iters: 40,
+                    stable_iters: 6,
+                    seed,
+                    evaluator,
+                    ..StaticSaConfig::default()
+                };
+                let outcome = static_sa(
+                    &inst.graph,
+                    &inst.topology,
+                    &inst.params,
+                    &inst.sim_cfg,
+                    &cfg,
+                )?;
+                Ok(MappedSchedule {
+                    mapping: outcome.mapping,
+                    // Replay with the same level-based dispatch order the
+                    // annealer evaluated under, so the cell's makespan is
+                    // exactly `outcome.result.makespan`.
+                    order: Some(level_dispatch_order(&inst.graph)),
+                })
+            },
+        ));
         p
     }
 }
@@ -286,6 +392,46 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", entry.name(), inst.name));
             }
         }
+    }
+
+    #[test]
+    fn static_sa_cells_are_evaluator_kind_invariant() {
+        // The `--evaluator {full,incremental}` toggle must never change
+        // a result, only its cost.
+        let insts = smoke_instances(4);
+        let full = Portfolio::standard_with(EvaluatorKind::Full);
+        let incr = Portfolio::standard_with(EvaluatorKind::Incremental);
+        for inst in &insts {
+            for seed in [3, 11] {
+                let a = full.get("static-sa").unwrap().evaluate(inst, seed).unwrap();
+                let b = incr.get("static-sa").unwrap().evaluate(inst, seed).unwrap();
+                assert_eq!(a.makespan, b.makespan, "{} seed {seed}", inst.name);
+                assert_eq!(a.placement, b.placement, "{} seed {seed}", inst.name);
+                assert_eq!(a.finish, b.finish, "{} seed {seed}", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_entries_instantiate_and_evaluate_consistently() {
+        // A mapped entry's `instantiate` (FixedMapping replay through
+        // the public engine) must agree with its `evaluate` (the shared
+        // replay_mapping path).
+        let inst = &smoke_instances(2)[0];
+        let p = Portfolio::standard();
+        let entry = p.get("static-sa").unwrap();
+        let direct = entry.evaluate(inst, 5).unwrap();
+        let mut sched = entry.instantiate(inst, 5).unwrap();
+        let replayed = simulate(
+            &inst.graph,
+            &inst.topology,
+            &inst.params,
+            sched.as_mut(),
+            &inst.sim_cfg,
+        )
+        .unwrap();
+        assert_eq!(direct.makespan, replayed.makespan);
+        assert_eq!(direct.placement, replayed.placement);
     }
 
     #[test]

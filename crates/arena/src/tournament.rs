@@ -1,10 +1,15 @@
 //! The parallel portfolio × instance tournament runner.
 //!
-//! Every `(scheduler, instance)` cell is an independent simulation with
+//! Every `(scheduler, instance)` cell is an independent evaluation with
 //! a seed mixed deterministically from `(base_seed, row, column)`, so
 //! the whole matrix is reproducible bit-for-bit regardless of the
 //! thread cap; fan-out goes through
-//! [`anneal_core::parallel::run_chunked`].
+//! [`anneal_core::parallel::run_chunked`]. Cells route through
+//! [`PortfolioEntry::evaluate`](crate::PortfolioEntry): online
+//! schedulers drive the discrete-event engine directly, mapped entries
+//! (whole-graph static SA) anneal and replay through `anneal-core`'s
+//! shared evaluator layer, so tournaments inherit the incremental
+//! kernel's speedup without any change here.
 
 use anneal_core::parallel::run_chunked;
 use anneal_report::{render_win_loss_matrix, Csv, WinLossOptions};

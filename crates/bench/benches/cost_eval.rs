@@ -54,7 +54,7 @@ fn bench_cost(c: &mut Criterion) {
                 b.iter(|| {
                     let mut acc = 0.0;
                     for &mv in moves {
-                        let (dfb, dfc) = cm.delta(&m, mv);
+                        let (dfb, dfc) = cm.delta(mv);
                         acc += dfb + dfc;
                     }
                     black_box(acc)

@@ -8,7 +8,8 @@
 //! of the arguments — two runs with the same arguments are
 //! byte-identical, which CI asserts.
 //!
-//! Usage: `arena [random_instances] [seed] [--paper]`
+//! Usage: `arena [random_instances] [seed] [--paper]
+//! [--evaluator {full,incremental}]`
 //!
 //! * `random_instances` — size of the synthetic family (default 6).
 //! * `seed` — base seed for instance generation and every cell
@@ -16,21 +17,39 @@
 //! * `--paper` — additionally include the paper's four programs on
 //!   their Table-2 architectures (slower; static SA anneals a complete
 //!   mapping per cell).
+//! * `--evaluator` — how static SA prices its annealing moves
+//!   (default `incremental`). Both kinds produce byte-identical
+//!   artifacts — CI runs the tournament under each and diffs the CSVs.
 
 use anneal_arena::{
     paper_instances, run_tournament, standard_instances, Portfolio, TournamentConfig,
 };
+use anneal_core::EvaluatorKind;
 use anneal_report::csv::f;
 use anneal_report::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let mut evaluator = EvaluatorKind::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--evaluator" => {
+                let v = it
+                    .next()
+                    .expect("--evaluator needs 'full' or 'incremental'");
+                evaluator = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            a if a.starts_with("--") => {} // handled below
+            _ => positional.push(arg),
+        }
+    }
     let count: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(6);
     let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
     let with_paper = args.iter().any(|a| a == "--paper");
 
-    let portfolio = Portfolio::standard();
+    let portfolio = Portfolio::standard_with(evaluator);
     let mut instances = standard_instances(seed, count);
     if with_paper {
         instances.extend(paper_instances());

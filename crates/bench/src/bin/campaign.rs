@@ -19,26 +19,32 @@
 //!   agree cell for cell.
 //!
 //! Usage: `campaign [instances] [shards] [seed] [--full] [--shard K]
-//! [--merge-only] [--dir PATH]`
+//! [--merge-only] [--dir PATH] [--evaluator {full,incremental}]`
 //!
 //! * `instances` — family size (default 1000).
 //! * `shards` — shard count (default 8).
 //! * `seed` — base seed for generation and evaluation (default 42).
 //! * `--full` — use `Portfolio::standard()` including whole-graph
-//!   static SA (much slower; default is `Portfolio::fast()`).
+//!   static SA (slower; default is `Portfolio::fast()`).
 //! * `--shard K` — run only shard `K`, then merge if all artifacts
 //!   exist (for driving shards from separate processes).
 //! * `--merge-only` — skip running, only merge existing artifacts.
 //! * `--dir PATH` — campaign directory (default `results/campaign`).
+//! * `--evaluator` — how static SA (only present with `--full`) prices
+//!   its annealing moves (default `incremental`). The choice never
+//!   changes a cell value, so artifacts merge identically either way;
+//!   it is still stamped into `campaign.meta` for provenance.
 
 use std::path::PathBuf;
 
 use anneal_arena::{run_shard, shard_file_name, CampaignConfig, Portfolio};
+use anneal_core::EvaluatorKind;
 use anneal_report::{merge_shard_csvs, Table};
 
 struct Args {
     cfg: CampaignConfig,
     full: bool,
+    evaluator: EvaluatorKind,
     only_shard: Option<usize>,
     merge_only: bool,
     dir: PathBuf,
@@ -48,6 +54,7 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<u64> = Vec::new();
     let mut full = false;
+    let mut evaluator = EvaluatorKind::default();
     let mut only_shard = None;
     let mut merge_only = false;
     let mut dir = PathBuf::from("results/campaign");
@@ -62,6 +69,12 @@ fn parse_args() -> Args {
             }
             "--dir" => {
                 dir = PathBuf::from(it.next().expect("--dir needs a path"));
+            }
+            "--evaluator" => {
+                let v = it
+                    .next()
+                    .expect("--evaluator needs 'full' or 'incremental'");
+                evaluator = v.parse().unwrap_or_else(|e| panic!("{e}"));
             }
             other => match other.parse() {
                 Ok(v) => positional.push(v),
@@ -78,6 +91,7 @@ fn parse_args() -> Args {
     Args {
         cfg,
         full,
+        evaluator,
         only_shard,
         merge_only,
         dir,
@@ -89,13 +103,14 @@ fn parse_args() -> Args {
 /// produced under different settings — a shard computed with another
 /// seed would merge cleanly (same header, same shape) into a silently
 /// wrong matrix.
-fn provenance(cfg: &CampaignConfig, full: bool) -> String {
+fn provenance(cfg: &CampaignConfig, full: bool, evaluator: EvaluatorKind) -> String {
     format!(
-        "instances={}\nshards={}\nseed={}\nportfolio={}\n",
+        "instances={}\nshards={}\nseed={}\nportfolio={}\nevaluator={}\n",
         cfg.instances,
         cfg.shards,
         cfg.base_seed,
-        if full { "standard" } else { "fast" }
+        if full { "standard" } else { "fast" },
+        evaluator
     )
 }
 
@@ -116,12 +131,12 @@ fn main() {
     let args = parse_args();
     args.cfg.validate();
     let portfolio = if args.full {
-        Portfolio::standard()
+        Portfolio::standard_with(args.evaluator)
     } else {
         Portfolio::fast()
     };
     std::fs::create_dir_all(&args.dir).expect("create campaign dir");
-    check_provenance(&args.dir, &provenance(&args.cfg, args.full));
+    check_provenance(&args.dir, &provenance(&args.cfg, args.full, args.evaluator));
 
     if !args.merge_only {
         let shards: Vec<usize> = match args.only_shard {

@@ -151,7 +151,7 @@ pub fn anneal_packet<R: Rng + ?Sized>(
 
             let mut was_accepted = false;
             if let Some(mv) = mv {
-                let (dfb, dfc) = cm.delta(&m, mv);
+                let (dfb, dfc) = cm.delta(mv);
                 let delta = cm.total(fb + dfb, fc + dfc) - cost;
                 if accept(params.acceptance, delta, temp, rng) {
                     m.apply(mv);

@@ -116,8 +116,9 @@ impl<'p> CostModel<'p> {
 
     /// Raw `(ΔF_b, ΔF_c)` change if `mv` were applied to the mapping it
     /// was proposed against (without applying it). O(1) — the move
-    /// already carries the affected occupancies.
-    pub fn delta(&self, _m: &PacketMapping, mv: Move) -> (f64, f64) {
+    /// already carries the affected occupancies, so no mapping lookup
+    /// is needed.
+    pub fn delta(&self, mv: Move) -> (f64, f64) {
         let lv = |t: usize| self.packet.levels[t] as f64;
         let cc = |t: usize, p: usize| self.packet.comm_cost[t][p] as f64;
         match mv {
@@ -225,7 +226,7 @@ mod tests {
             let Some(mv) = m.propose(task, proc) else {
                 continue;
             };
-            let (dfb, dfc) = cm.delta(&m, mv);
+            let (dfb, dfc) = cm.delta(mv);
             m.apply(mv);
             fb += dfb;
             fc += dfc;

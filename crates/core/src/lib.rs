@@ -38,9 +38,12 @@
 //!   paper observes SA "is able to optimally solve the Graham list
 //!   scheduling anomalies".
 //! * [`parallel`] — seeded multi-restart SA across threads.
+//! * [`eval`] — the shared [`Evaluator`] layer for mapping-based
+//!   schedulers: a full-replay reference and an incremental
+//!   fixed-mapping kernel with bit-identical makespans.
 //! * [`static_sa`] — whole-graph annealing (the §3 balancing-problem
-//!   style) with simulation-in-the-loop cost, for comparison with the
-//!   staged algorithm.
+//!   style) with simulated-makespan cost priced through [`eval`], for
+//!   comparison with the staged algorithm.
 //! * [`mct`] — HLF ranking with greedy minimum-eq.4 placement, isolating
 //!   the value of placement awareness from stochastic search.
 //! * [`heft`] / [`cpop`] — HEFT-style earliest-finish-time and
@@ -56,6 +59,7 @@ pub mod boltzmann;
 pub mod cooling;
 pub mod cost;
 pub mod cpop;
+pub mod eval;
 pub mod heft;
 pub mod hlf;
 pub mod list;
@@ -69,6 +73,7 @@ pub mod static_sa;
 pub mod trace;
 
 pub use cpop::CpopScheduler;
+pub use eval::{level_dispatch_order, replay_mapping, Evaluator, EvaluatorKind};
 pub use heft::HeftScheduler;
 pub use hlf::HlfScheduler;
 pub use mct::MctScheduler;

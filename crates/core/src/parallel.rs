@@ -18,6 +18,7 @@ use anneal_sim::{simulate, SimConfig, SimError, SimResult};
 use anneal_topology::{CommParams, Topology};
 
 use crate::sa::{SaConfig, SaScheduler};
+use crate::static_sa::{static_sa, StaticSaConfig, StaticSaOutcome};
 
 /// The default thread cap: the machine's available parallelism (1 when
 /// it cannot be determined).
@@ -139,6 +140,67 @@ pub fn best_of_restarts_capped(
     })
 }
 
+/// Outcome of a whole-graph (static SA) restart sweep.
+#[derive(Debug, Clone)]
+pub struct StaticRestartOutcome {
+    /// The best run's full outcome.
+    pub outcome: StaticSaOutcome,
+    /// The seed that produced it.
+    pub seed: u64,
+    /// Makespan of every seed, in input order.
+    pub all_makespans: Vec<u64>,
+}
+
+/// Runs one whole-graph annealing per seed (in parallel, capped at
+/// `max_threads`; `0` = [`default_max_threads`]) and returns the best
+/// by makespan; ties break toward the earlier seed.
+///
+/// Every restart prices its moves through the shared
+/// [`Evaluator`](crate::eval::Evaluator) selected by
+/// `base.evaluator` — with the default incremental kernel, a restart
+/// sweep that used to cost `seeds × moves` full simulations now costs
+/// `seeds` full simulations plus cheap suffix replays.
+#[allow(clippy::too_many_arguments)]
+pub fn best_of_static_restarts(
+    graph: &TaskGraph,
+    topology: &Topology,
+    params: &CommParams,
+    sim_cfg: &SimConfig,
+    base: &StaticSaConfig,
+    seeds: &[u64],
+    max_threads: usize,
+) -> Result<StaticRestartOutcome, SimError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let results: Vec<Result<StaticSaOutcome, SimError>> =
+        run_chunked(seeds.len(), max_threads, |i| {
+            let cfg = StaticSaConfig {
+                seed: seeds[i],
+                ..base.clone()
+            };
+            static_sa(graph, topology, params, sim_cfg, &cfg)
+        });
+
+    let mut best: Option<(usize, StaticSaOutcome)> = None;
+    let mut all = Vec::with_capacity(seeds.len());
+    for (i, r) in results.into_iter().enumerate() {
+        let r = r?;
+        all.push(r.result.makespan);
+        let better = match &best {
+            None => true,
+            Some((_, b)) => r.result.makespan < b.result.makespan,
+        };
+        if better {
+            best = Some((i, r));
+        }
+    }
+    let (idx, outcome) = best.expect("at least one seed");
+    Ok(StaticRestartOutcome {
+        outcome,
+        seed: seeds[idx],
+        all_makespans: all,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +297,36 @@ mod tests {
         }
         assert!(run_chunked(0, 3, |i| i).is_empty());
         assert!(default_max_threads() >= 1);
+    }
+
+    #[test]
+    fn static_restart_sweep_is_deterministic_and_picks_minimum() {
+        let g = sample_graph();
+        let topo = hypercube(2);
+        let base = StaticSaConfig {
+            max_iters: 20,
+            moves_per_temp: 6,
+            ..StaticSaConfig::default()
+        };
+        let run = |cap| {
+            best_of_static_restarts(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &SimConfig::default(),
+                &base,
+                &[1, 2, 3],
+                cap,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let wide = run(0);
+        assert_eq!(serial.all_makespans, wide.all_makespans);
+        assert_eq!(serial.seed, wide.seed);
+        let min = *serial.all_makespans.iter().min().unwrap();
+        assert_eq!(serial.outcome.result.makespan, min);
+        serial.outcome.result.audit(&g).unwrap();
     }
 
     #[test]

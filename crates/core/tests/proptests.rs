@@ -76,7 +76,7 @@ proptest! {
             let t = rng.gen_range(0..packet.num_tasks());
             let q = rng.gen_range(0..packet.num_procs());
             let Some(mv) = m.propose(t, q) else { continue };
-            let (dfb, dfc) = cm.delta(&m, mv);
+            let (dfb, dfc) = cm.delta(mv);
             m.apply(mv);
             fb += dfb;
             fc += dfc;

@@ -500,7 +500,7 @@ impl<'a> Engine<'a> {
                 self.msgs.push(Message {
                     dest_task: t,
                     dest: q,
-                    weight: self.params.transfer_time_of_weight(w),
+                    weight: link_occupancy_time(self.params, w),
                     route,
                     hop: 0,
                 });
@@ -646,18 +646,14 @@ impl<'a> Engine<'a> {
 /// Edge weights in this project are *already* stored as nanoseconds of
 /// link time (`w = L/BW` precomputed by the workload generators), so
 /// under finite bandwidth they pass through unchanged; free-bandwidth
-/// parameter sets zero them out.
-trait WeightTime {
-    fn transfer_time_of_weight(&self, w: u64) -> u64;
-}
-
-impl WeightTime for CommParams {
-    fn transfer_time_of_weight(&self, w: u64) -> u64 {
-        if self.bandwidth_bps == u64::MAX {
-            0
-        } else {
-            w
-        }
+/// parameter sets zero them out. Shared by the engine and the
+/// fixed-mapping evaluator (`crate::eval`) so both charge identical
+/// transfer times.
+pub(crate) fn link_occupancy_time(params: &CommParams, w: u64) -> u64 {
+    if params.bandwidth_bps == u64::MAX {
+        0
+    } else {
+        w
     }
 }
 

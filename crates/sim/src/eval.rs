@@ -1,0 +1,1543 @@
+//! Fast makespan evaluation of fixed mappings, with incremental moves.
+//!
+//! Whole-graph annealing (`anneal-core`'s `static_sa`) and the arena's
+//! adversarial search both evaluate *thousands* of candidate mappings,
+//! and until this module existed every candidate paid for a complete
+//! [`simulate`](crate::simulate) call: a fresh route table, a fresh
+//! event queue, Gantt span recording, statistics, and a fully allocated
+//! [`SimResult`](crate::SimResult) — all to read one number, the
+//! makespan.
+//!
+//! [`FixedEval`] is a specialized re-implementation of the
+//! discrete-event engine for the [`FixedMapping`](crate::FixedMapping)
+//! scheduler that produces **bit-identical makespans** (same events,
+//! same tie-breaking, same σ/τ preemption and channel FIFO contention)
+//! while doing none of that bookkeeping:
+//!
+//! * routes and per-hop channel ids are precomputed once per instance;
+//! * every buffer (event heap, processor and channel state, ready set)
+//!   is reused across evaluations — steady-state evaluation performs no
+//!   allocation;
+//! * no Gantt spans, statistics or result vectors are built.
+//!
+//! On top of the specialized kernel sits the **incremental** part:
+//! after [`FixedEval::eval_relocate`] or [`FixedEval::eval_swap`], only
+//! the *affected cone* of the move is recomputed. Because messages
+//! preempt third-party processors (routing τ) and contend for channels
+//! (FIFO), the structurally affected cone of a move — the moved task's
+//! dependents plus the two processors' queues — is not sound for this
+//! engine: a retimed message can displace an unrelated message on a
+//! shared link. The cone that *is* sound is **temporal**, and the
+//! evaluator computes it exactly:
+//!
+//! 1. a task's mapping is first *read* when the task becomes ready, so
+//!    nothing can diverge before the moved tasks' ready times;
+//! 2. from there, the only reads are dispatch decisions, and a move
+//!    touches exactly two processors' waiting queues — so the first
+//!    epoch of the committed baseline at which either processor would
+//!    pick a different task under the candidate mapping is the exact
+//!    divergence point (if no epoch decides differently, the candidate
+//!    provably replays the baseline and no simulation runs at all).
+//!
+//! The evaluator snapshots the engine state at every scheduling epoch
+//! of the committed baseline, resumes the candidate at the divergence
+//! epoch, and replays only the suffix. [`FixedEval::commit`] is *lazy*:
+//! the accepted candidate shares the baseline timeline up to its resume
+//! point, so commit just truncates the snapshot list there; the dropped
+//! tail is re-recorded only when repeated commits have eroded it past
+//! half a run (until then, candidates conservatively resume at the
+//! boundary — no worse than an average move).
+//!
+//! Two further departures from the engine's event plumbing keep the
+//! per-event cost low without changing any outcome: events live in a
+//! 4-ary heap of packed 16-byte `(time, seq|kind|arg)` entries, and
+//! task completions never enter the heap at all — each processor holds
+//! a completion *register* drawing sequence numbers from the same
+//! counter, and the main loop pops the global `(time, seq)` minimum
+//! across heap and registers, which is provably the order one merged
+//! heap would produce (a preemption disarms the register instead of
+//! leaving a stale event behind).
+//!
+//! The equivalence contract — `FixedEval` agrees with a from-scratch
+//! DES replay on every mapping, including after arbitrarily long
+//! relocate/swap/commit chains — is enforced by unit tests here and
+//! the proptest suite in `anneal-core/tests/evaluator.rs`.
+
+use std::collections::VecDeque;
+
+use anneal_graph::{TaskGraph, TaskId};
+use anneal_topology::{CommParams, ProcId, RouteTable, Topology};
+
+use crate::engine::{link_occupancy_time, SimConfig, SimError};
+use crate::SimTime;
+
+const NONE: u32 = u32::MAX;
+const NOT_RUNNING: SimTime = SimTime::MAX;
+
+/// A candidate move, as the divergence scan sees it.
+#[derive(Debug, Clone, Copy)]
+enum Mv {
+    /// Task `t` relocates from processor `from` to `to`.
+    Relocate { t: u32, from: u32, to: u32 },
+    /// Tasks `a` (on `pa`) and `b` (on `pb`) exchange processors.
+    Swap { a: u32, b: u32, pa: u32, pb: u32 },
+}
+
+/// A heap entry is `(time, rest)` with
+/// `rest = seq << 32 | kind << 30 | arg`: 16 bytes total, ordered by
+/// `(time, seq)` since `seq` occupies the high bits — so pops replay
+/// the engine's insertion-order tie-breaking exactly. `arg` is a
+/// processor index for `TaskDone`/`OverheadDone` and a message (edge)
+/// id for `TransferDone`; both fit 30 bits by the assertions in
+/// [`FixedEval::new`]. `seq` is a per-run push counter; it cannot wrap
+/// because a run processes at most `max_events` (and pushes at most a
+/// small multiple of that before erroring).
+type HeapEv = (SimTime, u64);
+
+const KIND_OVERHEAD_DONE: u64 = 1;
+const KIND_TRANSFER_DONE: u64 = 2;
+const ARG_MASK: u64 = (1 << 30) - 1;
+
+#[inline]
+fn pack(seq: u64, kind: u64, arg: u32) -> u64 {
+    debug_assert!(seq < (1 << 32) && (arg as u64) <= ARG_MASK);
+    seq << 32 | kind << 30 | arg as u64
+}
+
+/// A 4-ary min-heap over `(time, rest)` pairs.
+///
+/// The event queue is the hottest structure in the evaluator (every
+/// simulated event is one push and one pop); a 4-ary layout halves the
+/// tree depth of the resident ~10–40 events and keeps each node's
+/// children in one cache line, which measures materially faster than
+/// `std::collections::BinaryHeap` here. Ordering is the total order on
+/// `(time, seq)` (seq lives in the high bits of `rest`), so pops
+/// reproduce the engine's insertion-order tie-breaking exactly.
+#[derive(Debug, Default)]
+struct EventHeap {
+    v: Vec<HeapEv>,
+}
+
+impl EventHeap {
+    fn clear(&mut self) {
+        self.v.clear();
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        self.v.first().map(|e| e.0)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&HeapEv> {
+        self.v.first()
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, HeapEv> {
+        self.v.iter()
+    }
+
+    #[inline]
+    fn push(&mut self, x: HeapEv) {
+        let mut i = self.v.len();
+        self.v.push(x);
+        while i > 0 {
+            let parent = (i - 1) >> 2;
+            if self.v[parent] <= x {
+                break;
+            }
+            self.v[i] = self.v[parent];
+            i = parent;
+        }
+        self.v[i] = x;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<HeapEv> {
+        let len = self.v.len();
+        if len == 0 {
+            return None;
+        }
+        let top = self.v[0];
+        let x = self.v[len - 1];
+        self.v.truncate(len - 1);
+        let len = len - 1;
+        if len > 0 {
+            let mut i = 0;
+            loop {
+                let first = (i << 2) + 1;
+                if first >= len {
+                    break;
+                }
+                let last = (first + 4).min(len);
+                let mut m = first;
+                for c in first + 1..last {
+                    if self.v[c] < self.v[m] {
+                        m = c;
+                    }
+                }
+                if self.v[m] >= x {
+                    break;
+                }
+                self.v[i] = self.v[m];
+                i = m;
+            }
+            self.v[i] = x;
+        }
+        Some(top)
+    }
+}
+
+/// σ/τ overhead kinds (send, intermediate route, destination receive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OhKind {
+    Send,
+    Route,
+    Receive,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Oh {
+    kind: OhKind,
+    dur: SimTime,
+    msg: u32,
+}
+
+/// Mutable per-processor state (the engine's `Proc`, minus statistics).
+///
+/// `Clone` is hand-written because snapshots copy these thousands of
+/// times per annealing chain: the derived impl's default `clone_from`
+/// would allocate fresh `VecDeque`s on every copy, while this one
+/// reuses the destination's capacity.
+#[derive(Debug, Default)]
+struct ProcState {
+    assigned: u32,
+    task: u32,
+    remaining: SimTime,
+    running_since: SimTime,
+    cur_oh: Option<Oh>,
+    incoming: VecDeque<Oh>,
+    sends: VecDeque<Oh>,
+    /// The compute-completion *register*: when a task is running, the
+    /// time it will finish (`NOT_RUNNING` when idle or preempted) and
+    /// the sequence number drawn when it was armed. Task completions
+    /// never enter the event heap — the main loop merges the heap with
+    /// these registers by `(time, seq)`, which yields exactly the order
+    /// a heap-resident `TaskDone` would have had (the register draws
+    /// its seq from the same counter a push would), while a preemption
+    /// simply disarms the register instead of leaving a stale event to
+    /// pop. `OverheadDone` needs no counterpart because nothing can
+    /// preempt a running overhead (`pump` is a no-op while `cur_oh` is
+    /// occupied), so overhead timers are never stale.
+    done_at: SimTime,
+    done_seq: u64,
+}
+
+impl Clone for ProcState {
+    fn clone(&self) -> Self {
+        let mut out = ProcState::default();
+        out.clone_from(self);
+        out
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.assigned = src.assigned;
+        self.task = src.task;
+        self.remaining = src.remaining;
+        self.running_since = src.running_since;
+        self.cur_oh = src.cur_oh;
+        self.incoming.clear();
+        self.incoming.extend(src.incoming.iter().copied());
+        self.sends.clear();
+        self.sends.extend(src.sends.iter().copied());
+        self.done_at = src.done_at;
+        self.done_seq = src.done_seq;
+    }
+}
+
+impl ProcState {
+    fn reset(&mut self) {
+        self.assigned = NONE;
+        self.task = NONE;
+        self.remaining = 0;
+        self.running_since = NOT_RUNNING;
+        self.cur_oh = None;
+        self.incoming.clear();
+        self.sends.clear();
+        self.done_at = NOT_RUNNING;
+        self.done_seq = 0;
+    }
+}
+
+/// Channel state; `Clone` is hand-written for the same
+/// capacity-reusing reason as [`ProcState`].
+#[derive(Debug, Default)]
+struct ChanState {
+    busy: bool,
+    queue: VecDeque<u32>,
+}
+
+impl Clone for ChanState {
+    fn clone(&self) -> Self {
+        let mut out = ChanState::default();
+        out.clone_from(self);
+        out
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.busy = src.busy;
+        self.queue.clear();
+        self.queue.extend(src.queue.iter().copied());
+    }
+}
+
+/// Message state, addressed by the *predecessor-edge id* of the edge it
+/// carries (`pred_base[task] + k` for the task's `k`-th incoming edge).
+/// Edge ids are stable across runs — unlike creation-order ids — so a
+/// rejected candidate's messages can never corrupt slots that baseline
+/// snapshots still reference: every slot a snapshot's in-flight set
+/// names is rewritten from the snapshot itself on restore, and every
+/// other slot is rewritten at assignment before it is read.
+#[derive(Debug, Clone, Copy, Default)]
+struct MsgMeta {
+    dest_task: u32,
+    src: u32,
+    dest: u32,
+    weight: SimTime,
+}
+
+/// Complete engine state at one scheduling epoch (taken *before* the
+/// epoch's dispatch decisions run). Restoring a snapshot and re-running
+/// reproduces the original suffix event for event.
+#[derive(Debug, Clone, Default)]
+struct Snapshot {
+    now: SimTime,
+    seq: u64,
+    events: u64,
+    heap: Vec<HeapEv>,
+    procs: Vec<ProcState>,
+    channels: Vec<ChanState>,
+    /// In-flight messages as `(edge id, meta, hop)`.
+    live_msgs: Vec<(u32, MsgMeta, u32)>,
+    placement: Vec<u32>,
+    unfinished: Vec<u32>,
+    pending: Vec<u32>,
+    ready: Vec<u32>,
+    finished: u32,
+    max_finish: SimTime,
+    /// The dispatch decisions the epoch at this snapshot made
+    /// (`(task, proc)` pairs, one per dispatching processor) — filled
+    /// in right after the epoch runs. The divergence scan reads these
+    /// instead of recomputing queue minima: a candidate mapping
+    /// diverges at this epoch iff it changes one of the two affected
+    /// processors' picks, which is decidable from the recorded pick
+    /// plus one `(order, id)` comparison.
+    decisions: Vec<(u32, u32)>,
+}
+
+/// Incremental fixed-mapping makespan evaluator.
+///
+/// Create one per `(graph, topology, params, config, dispatch order)`
+/// instance, establish a baseline with [`FixedEval::reset`], then probe
+/// single-task moves with [`FixedEval::eval_relocate`] /
+/// [`FixedEval::eval_swap`] and adopt accepted candidates with
+/// [`FixedEval::commit`]. Every makespan returned is bit-identical to
+/// `simulate(..)` with `FixedMapping::new(mapping).with_order(order)`.
+#[derive(Debug)]
+pub struct FixedEval<'a> {
+    g: &'a TaskGraph,
+    num_procs: usize,
+    params: CommParams,
+    comm_enabled: bool,
+    max_events: u64,
+    order: Vec<u64>,
+    // Flattened all-pairs routes: for pair `s*P + d`, `route_procs`
+    // holds the full hop chain (endpoints included) and `route_chans`
+    // the channel of each hop.
+    proc_off: Vec<u32>,
+    chan_off: Vec<u32>,
+    route_procs: Vec<u32>,
+    route_chans: Vec<u32>,
+    /// `pred_base[t]` = first predecessor-edge id of task `t` (edge ids
+    /// number the incoming edges of all tasks consecutively).
+    pred_base: Vec<u32>,
+
+    // Committed baseline.
+    base_mapping: Vec<ProcId>,
+    base_makespan: SimTime,
+    base_ready_at: Vec<SimTime>,
+    base_snaps: Vec<Snapshot>,
+    has_base: bool,
+    /// `true` when `base_snaps` covers the baseline's whole run. A lazy
+    /// commit truncates the timeline at the accepted candidate's resume
+    /// point (the shared prefix stays valid); the missing tail is only
+    /// re-recorded when it has eroded past half of `epochs_hint`.
+    timeline_complete: bool,
+    /// Epoch count of the last complete timeline (rebuild heuristic).
+    epochs_hint: usize,
+
+    // Last evaluated candidate.
+    cand_mapping: Vec<ProcId>,
+    cand_makespan: SimTime,
+    cand_resume: usize,
+    /// The candidate provably replayed the baseline trajectory (its
+    /// mapping dispatches identically), so commit has no suffix to
+    /// adopt.
+    cand_is_noop: bool,
+    has_candidate: bool,
+
+    // Reusable run scratch (the live engine state of whichever run is
+    // in progress).
+    run_mapping: Vec<ProcId>,
+    now: SimTime,
+    heap: EventHeap,
+    seq: u64,
+    events: u64,
+    epoch_pending: bool,
+    procs: Vec<ProcState>,
+    channels: Vec<ChanState>,
+    msgs: Vec<MsgMeta>,
+    msg_hop: Vec<u32>,
+    /// Edge ids of messages currently in flight, plus each live edge's
+    /// position in that list (`NONE` when not live). Only used to bound
+    /// what snapshots must capture.
+    live: Vec<u32>,
+    live_pos: Vec<u32>,
+    placement: Vec<u32>,
+    unfinished: Vec<u32>,
+    pending: Vec<u32>,
+    ready: Vec<u32>,
+    /// `waiting[p]` = ready tasks mapped to processor `p` under the
+    /// current run's mapping (unordered; dispatch selects the minimum
+    /// by `(order, id)`). Derived state — rebuilt from `ready` on
+    /// restore — so snapshots don't store it.
+    waiting: Vec<Vec<u32>>,
+    finished: u32,
+    max_finish: SimTime,
+    ready_at: Vec<SimTime>,
+    assign_buf: Vec<(u32, u32)>,
+    /// Cached minimum over the per-proc completion registers as
+    /// `(done_at, done_seq, proc)`; `None` = no register armed. Marked
+    /// stale (`reg_cache_valid = false`) whenever the cached processor
+    /// disarms.
+    reg_cache: Option<(SimTime, u64, u32)>,
+    reg_cache_valid: bool,
+    snap_pool: Vec<Snapshot>,
+    evaluations: u64,
+}
+
+impl<'a> FixedEval<'a> {
+    /// Builds an evaluator for one instance. `order` is the dispatch
+    /// priority per task (lower dispatches first, ties by task id) —
+    /// exactly [`FixedMapping::with_order`](crate::FixedMapping).
+    ///
+    /// Errors if the topology is disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order.len() != g.num_tasks()`.
+    pub fn new(
+        g: &'a TaskGraph,
+        topo: &Topology,
+        params: &CommParams,
+        cfg: &SimConfig,
+        order: Vec<u64>,
+    ) -> Result<Self, SimError> {
+        assert_eq!(order.len(), g.num_tasks(), "order must cover every task");
+        let routes = RouteTable::build(topo).map_err(|e| SimError::Disconnected(e.to_string()))?;
+        let np = topo.num_procs();
+        let mut proc_off = Vec::with_capacity(np * np + 1);
+        let mut chan_off = Vec::with_capacity(np * np + 1);
+        let mut route_procs = Vec::new();
+        let mut route_chans = Vec::new();
+        proc_off.push(0);
+        chan_off.push(0);
+        for s in 0..np {
+            for d in 0..np {
+                let path = routes.route(ProcId::from_index(s), ProcId::from_index(d));
+                for w in path.windows(2) {
+                    let ch = topo
+                        .channel_of(w[0], w[1])
+                        .expect("route hops are adjacent");
+                    route_chans.push(ch.0);
+                }
+                route_procs.extend(path.iter().map(|p| p.raw()));
+                proc_off.push(route_procs.len() as u32);
+                chan_off.push(route_chans.len() as u32);
+            }
+        }
+        let n = g.num_tasks();
+        let mut pred_base = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for t in g.tasks() {
+            pred_base.push(acc);
+            acc += g.in_degree(t) as u32;
+        }
+        pred_base.push(acc);
+        let num_pred_edges = acc as usize;
+        Ok(FixedEval {
+            g,
+            num_procs: np,
+            params: *params,
+            comm_enabled: cfg.comm_enabled,
+            max_events: cfg.max_events,
+            order,
+            proc_off,
+            chan_off,
+            route_procs,
+            route_chans,
+            pred_base,
+            base_mapping: Vec::new(),
+            base_makespan: 0,
+            base_ready_at: vec![0; n],
+            base_snaps: Vec::new(),
+            has_base: false,
+            timeline_complete: false,
+            epochs_hint: 0,
+            cand_mapping: Vec::new(),
+            cand_makespan: 0,
+            cand_resume: 0,
+            cand_is_noop: false,
+            has_candidate: false,
+            run_mapping: Vec::new(),
+            now: 0,
+            heap: EventHeap::default(),
+            seq: 0,
+            events: 0,
+            epoch_pending: true,
+            procs: (0..np).map(|_| ProcState::default()).collect(),
+            channels: vec![ChanState::default(); topo.num_channels()],
+            msgs: vec![MsgMeta::default(); num_pred_edges],
+            msg_hop: vec![0; num_pred_edges],
+            live: Vec::new(),
+            live_pos: vec![NONE; num_pred_edges],
+            placement: vec![NONE; n],
+            unfinished: vec![0; n],
+            pending: vec![0; n],
+            ready: Vec::new(),
+            waiting: vec![Vec::new(); np],
+            finished: 0,
+            max_finish: 0,
+            ready_at: vec![0; n],
+            assign_buf: Vec::new(),
+            reg_cache: None,
+            reg_cache_valid: false,
+            snap_pool: Vec::new(),
+            evaluations: 0,
+        })
+    }
+
+    /// The committed baseline mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first successful [`FixedEval::reset`].
+    pub fn mapping(&self) -> &[ProcId] {
+        assert!(self.has_base, "no baseline: call reset() first");
+        &self.base_mapping
+    }
+
+    /// The committed baseline makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first successful [`FixedEval::reset`].
+    pub fn makespan(&self) -> SimTime {
+        assert!(self.has_base, "no baseline: call reset() first");
+        self.base_makespan
+    }
+
+    /// Candidate evaluations performed (resets + moves).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Establishes `mapping` as the committed baseline by a full run,
+    /// returning its makespan.
+    pub fn reset(&mut self, mapping: &[ProcId]) -> Result<SimTime, SimError> {
+        self.check_mapping(mapping)?;
+        self.has_base = false;
+        self.has_candidate = false;
+        self.run_mapping.clear();
+        self.run_mapping.extend_from_slice(mapping);
+        self.snap_pool.append(&mut self.base_snaps);
+        self.init_state();
+        let makespan = self.run(true)?;
+        self.evaluations += 1;
+        self.base_mapping.clone_from(&self.run_mapping);
+        self.base_makespan = makespan;
+        self.base_ready_at.clone_from(&self.ready_at);
+        self.has_base = true;
+        self.timeline_complete = true;
+        self.epochs_hint = self.base_snaps.len();
+        Ok(makespan)
+    }
+
+    /// Makespan of the baseline with `task` relocated to `to`. The
+    /// baseline itself is unchanged until [`FixedEval::commit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics without a baseline or when `task`/`to` are out of range.
+    pub fn eval_relocate(&mut self, task: TaskId, to: ProcId) -> Result<SimTime, SimError> {
+        assert!(self.has_base, "no baseline: call reset() first");
+        assert!(to.index() < self.num_procs, "{to} out of range");
+        self.maybe_rebuild();
+        self.cand_mapping.clone_from(&self.base_mapping);
+        let from = self.cand_mapping[task.index()];
+        self.cand_mapping[task.index()] = to;
+        let dirty = self.dirty_time();
+        let bound = self.effective_bound(task.index(), dirty);
+        let mv = Mv::Relocate {
+            t: task.index() as u32,
+            from: from.index() as u32,
+            to: to.index() as u32,
+        };
+        self.eval_candidate(bound, mv)
+    }
+
+    /// Makespan of the baseline with tasks `a` and `b` exchanging
+    /// processors. The baseline is unchanged until [`FixedEval::commit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics without a baseline or when `a`/`b` are out of range.
+    pub fn eval_swap(&mut self, a: TaskId, b: TaskId) -> Result<SimTime, SimError> {
+        assert!(self.has_base, "no baseline: call reset() first");
+        self.maybe_rebuild();
+        self.cand_mapping.clone_from(&self.base_mapping);
+        let (pa, pb) = (self.cand_mapping[a.index()], self.cand_mapping[b.index()]);
+        self.cand_mapping.swap(a.index(), b.index());
+        let dirty = self.dirty_time();
+        let bound = self
+            .effective_bound(a.index(), dirty)
+            .min(self.effective_bound(b.index(), dirty));
+        let mv = Mv::Swap {
+            a: a.index() as u32,
+            b: b.index() as u32,
+            pa: pa.index() as u32,
+            pb: pb.index() as u32,
+        };
+        self.eval_candidate(bound, mv)
+    }
+
+    /// Adopts the most recently evaluated candidate as the committed
+    /// baseline. O(1) apart from bookkeeping: the candidate shares the
+    /// baseline's timeline up to its resume point, so the snapshot tail
+    /// is dropped and re-recorded lazily once it has eroded enough to
+    /// matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no candidate evaluation succeeded since the last
+    /// `reset`/`commit`.
+    pub fn commit(&mut self) {
+        assert!(self.has_candidate, "no candidate to commit");
+        self.has_candidate = false;
+        if self.cand_is_noop {
+            // The candidate's trajectory is the baseline's; nothing in
+            // the timeline changes (and the mappings are equal).
+            debug_assert_eq!(self.base_mapping, self.cand_mapping);
+            return;
+        }
+        // Lazy commit: the candidate shares the baseline's trajectory
+        // strictly before its resume epoch, so every snapshot up to and
+        // including the resume point (a pre-epoch state) is already the
+        // new baseline's. The tail is simply dropped; `base_ready_at`
+        // keeps stale entries, guarded by the dirty-boundary rule in
+        // `effective_bound`, and `rebuild_timeline` re-records the tail
+        // once it has eroded enough to matter.
+        self.base_mapping.clone_from(&self.cand_mapping);
+        self.base_makespan = self.cand_makespan;
+        self.snap_pool
+            .extend(self.base_snaps.drain(self.cand_resume + 1..));
+        self.timeline_complete = false;
+    }
+
+    /// The scan lower bound for a moved task: its baseline ready time
+    /// when that value is provably still current, else the dirty
+    /// boundary. A stale entry `< dirty_time` lies in the shared prefix
+    /// of every baseline since it was written, so it is exact; any
+    /// other value could describe a dropped tail, and the conservative
+    /// answer is the boundary itself.
+    fn effective_bound(&self, task: usize, dirty_time: SimTime) -> SimTime {
+        let stale = self.base_ready_at[task];
+        if self.timeline_complete || stale < dirty_time {
+            stale
+        } else {
+            dirty_time
+        }
+    }
+
+    /// Time of the last valid snapshot — the boundary beyond which the
+    /// lazily committed timeline has been dropped.
+    fn dirty_time(&self) -> SimTime {
+        self.base_snaps.last().expect("baseline has snapshots").now
+    }
+
+    /// Rebuilds the dropped timeline tail once lazy commits have eroded
+    /// it past half of a full run's epochs: before that, candidates
+    /// simply resume at the boundary (no worse than an average resume);
+    /// beyond it, every evaluation would degenerate toward a full
+    /// replay.
+    fn maybe_rebuild(&mut self) {
+        assert!(self.has_base, "no baseline: call reset() first");
+        if !self.timeline_complete && self.base_snaps.len() * 2 < self.epochs_hint {
+            self.rebuild_timeline();
+        }
+    }
+
+    /// Re-records the dropped timeline tail by replaying the baseline
+    /// from its last valid snapshot with recording on.
+    fn rebuild_timeline(&mut self) {
+        let idx = self.base_snaps.len() - 1;
+        self.run_mapping.clone_from(&self.base_mapping);
+        self.restore(idx, true);
+        let popped = self.base_snaps.pop().expect("restored snapshot");
+        self.snap_pool.push(popped);
+        let makespan = self.run(true).expect("baseline replays cleanly");
+        debug_assert_eq!(makespan, self.base_makespan);
+        self.base_ready_at.clone_from(&self.ready_at);
+        self.timeline_complete = true;
+        self.epochs_hint = self.base_snaps.len();
+    }
+
+    fn check_mapping(&self, mapping: &[ProcId]) -> Result<(), SimError> {
+        if mapping.len() != self.g.num_tasks() {
+            return Err(SimError::InvalidAssignment(format!(
+                "mapping covers {} of {} tasks",
+                mapping.len(),
+                self.g.num_tasks()
+            )));
+        }
+        if let Some(p) = mapping.iter().find(|p| p.index() >= self.num_procs) {
+            return Err(SimError::InvalidAssignment(format!(
+                "{p} is not in the topology"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether the candidate move changes the dispatch decision the
+    /// epoch recorded at `snap` made. O(P): the recorded decisions say
+    /// what each affected processor picked in the baseline, and a
+    /// single-task move can only change a pick by removing the picked
+    /// task from its queue or by adding a higher-priority task to an
+    /// idle processor's queue.
+    fn decisions_diverge(&self, snap: &Snapshot, mv: Mv) -> bool {
+        let decision_of = |p: u32| -> Option<u32> {
+            snap.decisions
+                .iter()
+                .find(|&&(_, dp)| dp == p)
+                .map(|&(t, _)| t)
+        };
+        let idle = |p: u32| snap.procs[p as usize].assigned == NONE;
+        let is_ready = |t: u32| snap.ready.binary_search(&t).is_ok();
+        let beats = |t: u32, c: u32| (self.order[t as usize], t) < (self.order[c as usize], c);
+        // Does moving `t` out of `from`'s queue and into `to`'s change
+        // either pick? (`gains` = the task the other side of a swap
+        // adds to `from`'s queue, if any.)
+        let side = |t: u32, from: u32, to: u32, gains: Option<u32>| -> bool {
+            let t_ready = is_ready(t);
+            if t_ready {
+                if decision_of(from) == Some(t) {
+                    return true;
+                }
+                if idle(to) {
+                    match decision_of(to) {
+                        None => return true,
+                        Some(c) if beats(t, c) => return true,
+                        _ => {}
+                    }
+                }
+            }
+            // A swap partner joining `from`'s queue can out-prioritize
+            // the baseline pick there (or fill an empty queue: `g` is
+            // ready here, so an idle `from` that dispatched nothing in
+            // the baseline dispatches `g` under the candidate).
+            if let Some(g) = gains {
+                if is_ready(g) && idle(from) {
+                    match decision_of(from) {
+                        None => return true,
+                        Some(c) if c != t && beats(g, c) => return true,
+                        _ => {}
+                    }
+                }
+            }
+            false
+        };
+        match mv {
+            Mv::Relocate { t, from, to } => from != to && side(t, from, to, None),
+            Mv::Swap { a, b, pa, pb } => {
+                pa != pb && (side(a, pa, pb, Some(b)) || side(b, pb, pa, Some(a)))
+            }
+        }
+    }
+
+    /// Runs the candidate in `cand_mapping`, resuming from the first
+    /// baseline epoch whose dispatch decision the move changes.
+    ///
+    /// `bound` is the earliest time the moved task(s) become ready (the
+    /// mapping of a task is first *read* when it is ready, so no
+    /// earlier snapshot can diverge), and `affected` are the two
+    /// processors whose queues the move touches: an epoch's decisions
+    /// can only differ on those, so the first snapshot at which either
+    /// processor would pick differently under the candidate mapping is
+    /// the exact divergence point. Every epoch before it decides
+    /// identically, hence the whole event trajectory up to it is
+    /// shared. When *no* epoch decides differently the candidate
+    /// replays the baseline exactly and no simulation runs at all.
+    fn eval_candidate(&mut self, bound: SimTime, mv: Mv) -> Result<SimTime, SimError> {
+        self.has_candidate = false;
+        let first = self
+            .base_snaps
+            .partition_point(|s| s.now < bound)
+            .saturating_sub(1);
+        let mut resume = None;
+        for idx in first..self.base_snaps.len() {
+            if self.decisions_diverge(&self.base_snaps[idx], mv) {
+                resume = Some(idx);
+                break;
+            }
+        }
+        let idx = match resume {
+            Some(idx) => idx,
+            None if self.timeline_complete => {
+                // The move never changes a dispatch decision: the
+                // candidate is the baseline trajectory (and the
+                // baseline mapping).
+                self.evaluations += 1;
+                self.cand_makespan = self.base_makespan;
+                self.cand_resume = self.base_snaps.len().saturating_sub(1);
+                self.cand_is_noop = true;
+                self.has_candidate = true;
+                return Ok(self.base_makespan);
+            }
+            // Truncated timeline: the scan proves nothing diverges in
+            // the valid prefix, but the dropped tail is unknown —
+            // resume at the boundary.
+            None => self.base_snaps.len() - 1,
+        };
+        std::mem::swap(&mut self.run_mapping, &mut self.cand_mapping);
+        self.restore(idx, false);
+        let res = self.run(false);
+        std::mem::swap(&mut self.run_mapping, &mut self.cand_mapping);
+        let makespan = res?;
+        self.evaluations += 1;
+        self.cand_makespan = makespan;
+        self.cand_resume = idx;
+        self.cand_is_noop = false;
+        self.has_candidate = true;
+        Ok(makespan)
+    }
+
+    /// Resets the scratch state to the empty time-0 engine state.
+    fn init_state(&mut self) {
+        self.now = 0;
+        self.heap.clear();
+        self.seq = 0;
+        self.events = 0;
+        self.epoch_pending = true;
+        for pr in &mut self.procs {
+            pr.reset();
+        }
+        for ch in &mut self.channels {
+            ch.busy = false;
+            ch.queue.clear();
+        }
+        self.live.clear();
+        self.live_pos.fill(NONE);
+        self.placement.fill(NONE);
+        self.ready.clear();
+        for t in self.g.tasks() {
+            let d = self.g.in_degree(t) as u32;
+            self.unfinished[t.index()] = d;
+            self.pending[t.index()] = 0;
+            self.ready_at[t.index()] = 0;
+            if d == 0 {
+                self.ready.push(t.index() as u32);
+            }
+        }
+        self.finished = 0;
+        self.max_finish = 0;
+        self.reg_cache_valid = false;
+        self.rebuild_waiting();
+    }
+
+    /// Rebuilds the per-processor waiting lists from `ready` and the
+    /// current run's mapping.
+    fn rebuild_waiting(&mut self) {
+        for w in &mut self.waiting {
+            w.clear();
+        }
+        for &t in &self.ready {
+            self.waiting[self.run_mapping[t as usize].index()].push(t);
+        }
+    }
+
+    /// Restores the scratch state from baseline snapshot `idx` (state at
+    /// an epoch trigger; the epoch itself re-runs). `with_ready_at`
+    /// seeds the scratch ready times from the baseline — only commit
+    /// re-runs need that (speculative candidates never read them).
+    fn restore(&mut self, idx: usize, with_ready_at: bool) {
+        let snap = std::mem::take(&mut self.base_snaps[idx]);
+        self.now = snap.now;
+        self.seq = snap.seq;
+        self.events = snap.events;
+        self.epoch_pending = true;
+        self.heap.clear();
+        for &e in &snap.heap {
+            self.heap.push(e);
+        }
+        self.procs.clone_from(&snap.procs);
+        self.channels.clone_from(&snap.channels);
+        self.live.clear();
+        self.live_pos.fill(NONE);
+        for &(id, meta, hop) in &snap.live_msgs {
+            self.msgs[id as usize] = meta;
+            self.msg_hop[id as usize] = hop;
+            self.live_pos[id as usize] = self.live.len() as u32;
+            self.live.push(id);
+        }
+        self.placement.clone_from(&snap.placement);
+        self.unfinished.clone_from(&snap.unfinished);
+        self.pending.clone_from(&snap.pending);
+        self.ready.clone_from(&snap.ready);
+        self.finished = snap.finished;
+        self.max_finish = snap.max_finish;
+        if with_ready_at {
+            self.ready_at.clone_from(&self.base_ready_at);
+        }
+        self.base_snaps[idx] = snap;
+        self.reg_cache_valid = false;
+        // Derived state: depends on the mapping, which the caller set
+        // (`run_mapping`) before restoring.
+        self.rebuild_waiting();
+    }
+
+    /// Records the current scratch state as a snapshot into the given
+    /// timeline.
+    fn snap_record(&mut self) {
+        let mut s = self.snap_pool.pop().unwrap_or_default();
+        s.now = self.now;
+        s.seq = self.seq;
+        s.events = self.events;
+        s.heap.clear();
+        s.heap.extend(self.heap.iter().copied());
+        s.procs.clone_from(&self.procs);
+        s.channels.clone_from(&self.channels);
+        s.live_msgs.clear();
+        s.live_msgs.extend(
+            self.live
+                .iter()
+                .map(|&id| (id, self.msgs[id as usize], self.msg_hop[id as usize])),
+        );
+        s.placement.clone_from(&self.placement);
+        s.unfinished.clone_from(&self.unfinished);
+        s.pending.clone_from(&self.pending);
+        s.ready.clone_from(&self.ready);
+        s.finished = self.finished;
+        s.max_finish = self.max_finish;
+        self.base_snaps.push(s);
+    }
+
+    /// The main event loop; a transliteration of `Engine::run` for the
+    /// fixed-mapping scheduler. With `record`, the baseline timeline
+    /// captures a snapshot at every scheduling epoch.
+    fn run(&mut self, record: bool) -> Result<SimTime, SimError> {
+        loop {
+            let reg = self.min_register();
+            if self.epoch_pending {
+                let heap_next = self.heap.peek_time();
+                let next = match (heap_next, reg) {
+                    (Some(h), Some((r, _, _))) => Some(h.min(r)),
+                    (h, r) => h.or(r.map(|(t, _, _)| t)),
+                };
+                if next.is_none_or(|t| t > self.now) {
+                    self.epoch_pending = false;
+                    if record {
+                        self.snap_record();
+                    }
+                    self.run_epoch();
+                    if record {
+                        let snap = self.base_snaps.last_mut().expect("just recorded");
+                        snap.decisions.clear();
+                        snap.decisions.extend_from_slice(&self.assign_buf);
+                    }
+                    continue;
+                }
+            }
+            // Pop the global (time, seq) minimum across the event heap
+            // and the completion registers — exactly the order one
+            // merged heap would produce.
+            let use_reg = match (self.heap.peek(), reg) {
+                (Some(&(ht, hr)), Some((rt, rs, _))) => (rt, rs) < (ht, hr >> 32),
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            let (time, rest) = if use_reg {
+                let (rt, _, rp) = reg.expect("register selected");
+                self.procs[rp as usize].done_at = NOT_RUNNING;
+                self.reg_cache_valid = false;
+                (rt, None)
+            } else {
+                match self.heap.pop() {
+                    Some((t, r)) => (t, Some(r)),
+                    None => break,
+                }
+            };
+            self.events += 1;
+            if self.events > self.max_events {
+                return Err(SimError::EventLimit);
+            }
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            match rest {
+                None => {
+                    let (_, _, rp) = reg.expect("register selected");
+                    self.on_task_done(rp);
+                }
+                Some(rest) => {
+                    let arg = (rest & ARG_MASK) as u32;
+                    if (rest >> 30) & 0b11 == KIND_OVERHEAD_DONE {
+                        self.on_overhead_done(arg);
+                    } else {
+                        self.on_transfer_done(arg);
+                    }
+                }
+            }
+        }
+        if (self.finished as usize) < self.g.num_tasks() {
+            let idle = self.procs.iter().filter(|p| p.assigned == NONE).count();
+            return Err(SimError::Deadlock {
+                time: self.now,
+                ready: self.ready.len(),
+                idle,
+            });
+        }
+        Ok(self.max_finish)
+    }
+
+    #[inline]
+    fn push_ev(&mut self, time: SimTime, kind: u64, arg: u32) {
+        self.heap.push((time, pack(self.seq, kind, arg)));
+        self.seq += 1;
+    }
+
+    /// Dispatch epoch: every idle processor takes its waiting ready task
+    /// with the lowest `(order, id)` — `FixedMapping::on_epoch`. Tasks
+    /// waiting per processor are disjoint, so scanning each idle
+    /// processor's own waiting list reproduces the engine's decisions
+    /// exactly without touching the full ready set.
+    fn run_epoch(&mut self) {
+        let mut buf = std::mem::take(&mut self.assign_buf);
+        buf.clear();
+        if self.ready.is_empty() {
+            self.assign_buf = buf;
+            return;
+        }
+        for p in 0..self.num_procs {
+            if self.procs[p].assigned != NONE {
+                continue;
+            }
+            let mut best: Option<u32> = None;
+            for &t in &self.waiting[p] {
+                let better = match best {
+                    None => true,
+                    Some(b) => (self.order[t as usize], t) < (self.order[b as usize], b),
+                };
+                if better {
+                    best = Some(t);
+                }
+            }
+            if let Some(t) = best {
+                buf.push((t, p as u32));
+            }
+        }
+        for &(t, p) in &buf {
+            self.assign(t, p);
+        }
+        self.assign_buf = buf;
+    }
+
+    fn assign(&mut self, t: u32, q: u32) {
+        self.placement[t as usize] = q;
+        self.procs[q as usize].assigned = t;
+        let pos = self.ready.binary_search(&t).expect("task was ready");
+        self.ready.remove(pos);
+        let w = &mut self.waiting[q as usize];
+        let wpos = w.iter().position(|&x| x == t).expect("task was waiting");
+        w.swap_remove(wpos);
+
+        let g = self.g;
+        let tid = TaskId::from_index(t as usize);
+        let mut pending = 0u32;
+        if self.comm_enabled {
+            let sigma = self.params.sigma;
+            for (k, e) in g.predecessors(tid).iter().enumerate() {
+                let src = self.placement[e.target.index()];
+                debug_assert!(src != NONE, "predecessor finished");
+                if src == q {
+                    continue;
+                }
+                let msg_id = self.pred_base[t as usize] + k as u32;
+                self.msgs[msg_id as usize] = MsgMeta {
+                    dest_task: t,
+                    src,
+                    dest: q,
+                    weight: link_occupancy_time(&self.params, e.weight),
+                };
+                self.msg_hop[msg_id as usize] = 0;
+                debug_assert_eq!(self.live_pos[msg_id as usize], NONE);
+                self.live_pos[msg_id as usize] = self.live.len() as u32;
+                self.live.push(msg_id);
+                pending += 1;
+                self.enqueue_overhead(
+                    src,
+                    Oh {
+                        kind: OhKind::Send,
+                        dur: sigma,
+                        msg: msg_id,
+                    },
+                );
+            }
+        }
+        self.pending[t as usize] = pending;
+        if pending == 0 {
+            let pr = &mut self.procs[q as usize];
+            debug_assert_eq!(pr.task, NONE);
+            pr.task = t;
+            pr.remaining = g.load(tid);
+            pr.running_since = NOT_RUNNING;
+            self.pump(q);
+        }
+    }
+
+    fn enqueue_overhead(&mut self, p: u32, oh: Oh) {
+        let pr = &mut self.procs[p as usize];
+        match oh.kind {
+            OhKind::Send => pr.sends.push_back(oh),
+            _ => pr.incoming.push_back(oh),
+        }
+        self.pump(p);
+    }
+
+    /// Keeps processor `p` busy with the right thing (`Engine::pump`):
+    /// pending overheads preempt compute; otherwise compute (re)starts.
+    fn pump(&mut self, p: u32) {
+        let now = self.now;
+        let pr = &mut self.procs[p as usize];
+        if pr.cur_oh.is_some() {
+            return;
+        }
+        let next = pr.incoming.pop_front().or_else(|| pr.sends.pop_front());
+        if let Some(oh) = next {
+            if pr.task != NONE && pr.running_since != NOT_RUNNING {
+                let done = now - pr.running_since;
+                pr.remaining -= done;
+                pr.running_since = NOT_RUNNING;
+                pr.done_at = NOT_RUNNING; // disarm the completion register
+                self.disarm_cache(p);
+            }
+            let pr = &mut self.procs[p as usize];
+            pr.cur_oh = Some(oh);
+            let at = now + oh.dur;
+            self.push_ev(at, KIND_OVERHEAD_DONE, p);
+            return;
+        }
+        if pr.task != NONE && pr.running_since == NOT_RUNNING {
+            pr.running_since = now;
+            let at = now + pr.remaining;
+            let seq = self.seq;
+            self.seq += 1;
+            let pr = &mut self.procs[p as usize];
+            pr.done_at = at;
+            pr.done_seq = seq;
+            self.arm_cache(at, seq, p);
+        }
+    }
+
+    /// Cache maintenance: a newly armed register can only tighten the
+    /// cached minimum.
+    #[inline]
+    fn arm_cache(&mut self, at: SimTime, seq: u64, p: u32) {
+        if self.reg_cache_valid {
+            if let Some((ct, cs, _)) = self.reg_cache {
+                if (at, seq) < (ct, cs) {
+                    self.reg_cache = Some((at, seq, p));
+                }
+            } else {
+                self.reg_cache = Some((at, seq, p));
+            }
+        }
+    }
+
+    /// Cache maintenance: disarming the cached processor invalidates
+    /// the cache (any other processor leaves the minimum intact).
+    #[inline]
+    fn disarm_cache(&mut self, p: u32) {
+        if self.reg_cache_valid && matches!(self.reg_cache, Some((_, _, cp)) if cp == p) {
+            self.reg_cache_valid = false;
+        }
+    }
+
+    /// The minimum completion register as `(time, seq, proc)`.
+    #[inline]
+    fn min_register(&mut self) -> Option<(SimTime, u64, u32)> {
+        if !self.reg_cache_valid {
+            let mut min: Option<(SimTime, u64, u32)> = None;
+            for (i, pr) in self.procs.iter().enumerate() {
+                if pr.done_at != NOT_RUNNING
+                    && min.is_none_or(|(t, s, _)| (pr.done_at, pr.done_seq) < (t, s))
+                {
+                    min = Some((pr.done_at, pr.done_seq, i as u32));
+                }
+            }
+            self.reg_cache = min;
+            self.reg_cache_valid = true;
+        }
+        self.reg_cache
+    }
+
+    #[inline]
+    fn hop_proc(&self, src: u32, dst: u32, hop: usize) -> u32 {
+        let pair = src as usize * self.num_procs + dst as usize;
+        self.route_procs[self.proc_off[pair] as usize + hop]
+    }
+
+    #[inline]
+    fn hop_chan(&self, src: u32, dst: u32, hop: usize) -> u32 {
+        let pair = src as usize * self.num_procs + dst as usize;
+        self.route_chans[self.chan_off[pair] as usize + hop]
+    }
+
+    fn channel_push(&mut self, msg_id: u32) {
+        let m = self.msgs[msg_id as usize];
+        let hop = self.msg_hop[msg_id as usize] as usize;
+        let ch = self.hop_chan(m.src, m.dest, hop) as usize;
+        if self.channels[ch].busy {
+            self.channels[ch].queue.push_back(msg_id);
+        } else {
+            self.channels[ch].busy = true;
+            let at = self.now + m.weight;
+            self.push_ev(at, KIND_TRANSFER_DONE, msg_id);
+        }
+    }
+
+    fn on_transfer_done(&mut self, msg_id: u32) {
+        // Free the channel and start the next queued transfer.
+        let m = self.msgs[msg_id as usize];
+        let hop = self.msg_hop[msg_id as usize] as usize;
+        let ch = self.hop_chan(m.src, m.dest, hop) as usize;
+        self.channels[ch].busy = false;
+        if let Some(next) = self.channels[ch].queue.pop_front() {
+            self.channels[ch].busy = true;
+            let at = self.now + self.msgs[next as usize].weight;
+            self.push_ev(at, KIND_TRANSFER_DONE, next);
+        }
+        // Advance the message.
+        self.msg_hop[msg_id as usize] += 1;
+        let v = self.hop_proc(m.src, m.dest, hop + 1);
+        let tau = self.params.tau;
+        let kind = if v == m.dest {
+            OhKind::Receive
+        } else {
+            OhKind::Route
+        };
+        self.enqueue_overhead(
+            v,
+            Oh {
+                kind,
+                dur: tau,
+                msg: msg_id,
+            },
+        );
+    }
+
+    fn on_overhead_done(&mut self, p: u32) {
+        let oh = self.procs[p as usize]
+            .cur_oh
+            .take()
+            .expect("overhead timer fired without current overhead");
+        match oh.kind {
+            OhKind::Send | OhKind::Route => self.channel_push(oh.msg),
+            OhKind::Receive => self.deliver(oh.msg),
+        }
+        self.pump(p);
+    }
+
+    fn deliver(&mut self, msg_id: u32) {
+        // The message is done: drop it from the live set.
+        let pos = self.live_pos[msg_id as usize] as usize;
+        debug_assert_eq!(self.live[pos], msg_id);
+        self.live.swap_remove(pos);
+        self.live_pos[msg_id as usize] = NONE;
+        if let Some(&moved) = self.live.get(pos) {
+            self.live_pos[moved as usize] = pos as u32;
+        }
+        let t = self.msgs[msg_id as usize].dest_task;
+        let c = &mut self.pending[t as usize];
+        debug_assert!(*c > 0);
+        *c -= 1;
+        if *c == 0 {
+            let q = self.placement[t as usize];
+            let load = self.g.load(TaskId::from_index(t as usize));
+            let pr = &mut self.procs[q as usize];
+            debug_assert_eq!(pr.task, NONE);
+            pr.task = t;
+            pr.remaining = load;
+            pr.running_since = NOT_RUNNING;
+            self.pump(q);
+        }
+    }
+
+    /// Fires when a completion register is popped; never stale (a
+    /// preemption disarms the register instead).
+    fn on_task_done(&mut self, p: u32) {
+        let pr = &mut self.procs[p as usize];
+        let t = pr.task;
+        debug_assert!(t != NONE && pr.running_since != NOT_RUNNING);
+        pr.task = NONE;
+        pr.remaining = 0;
+        pr.running_since = NOT_RUNNING;
+        pr.assigned = NONE;
+        if self.now > self.max_finish {
+            self.max_finish = self.now;
+        }
+        self.finished += 1;
+        let now = self.now;
+        for e in self.g.successors(TaskId::from_index(t as usize)) {
+            let c = &mut self.unfinished[e.target.index()];
+            *c -= 1;
+            if *c == 0 {
+                let tid = e.target.index() as u32;
+                let pos = self.ready.partition_point(|&x| x < tid);
+                self.ready.insert(pos, tid);
+                self.waiting[self.run_mapping[tid as usize].index()].push(tid);
+                self.ready_at[e.target.index()] = now;
+            }
+        }
+        self.epoch_pending = true;
+        self.pump(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FixedMapping;
+    use crate::simulate;
+    use anneal_graph::generate::{layered_random, LayeredConfig, Range};
+    use anneal_graph::units::us;
+    use anneal_graph::TaskGraphBuilder;
+    use anneal_topology::builders::{bus, hypercube, linear, ring, shared_bus, star};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p(i: usize) -> ProcId {
+        ProcId::from_index(i)
+    }
+
+    fn replay(
+        g: &TaskGraph,
+        topo: &Topology,
+        params: &CommParams,
+        cfg: &SimConfig,
+        mapping: &[ProcId],
+        order: &[u64],
+    ) -> SimTime {
+        let mut s = FixedMapping::new(mapping.to_vec()).with_order(order.to_vec());
+        simulate(g, topo, params, &mut s, cfg).unwrap().makespan
+    }
+
+    fn sample_graph(seed: u64) -> TaskGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        layered_random(
+            &LayeredConfig {
+                layers: 4,
+                width: 5,
+                edge_prob: 0.4,
+                load: Range::new(us(1.0), us(40.0)),
+                comm: Range::new(us(0.5), us(8.0)),
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn matches_engine_on_fresh_mappings() {
+        let g = sample_graph(3);
+        let order: Vec<u64> = (0..g.num_tasks() as u64).collect();
+        for topo in [hypercube(3), ring(5), star(4), shared_bus(4), linear(3)] {
+            let np = topo.num_procs();
+            let params = CommParams::paper();
+            let cfg = SimConfig::default();
+            let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order.clone()).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..6 {
+                let mapping: Vec<ProcId> = (0..g.num_tasks())
+                    .map(|_| p(rng.gen_range(0..np)))
+                    .collect();
+                let fast = ev.reset(&mapping).unwrap();
+                let slow = replay(&g, &topo, &params, &cfg, &mapping, &order);
+                assert_eq!(fast, slow, "{}", topo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_moves_match_full_replay() {
+        let g = sample_graph(7);
+        let n = g.num_tasks();
+        let topo = hypercube(3);
+        let params = CommParams::paper();
+        let cfg = SimConfig::default();
+        let order: Vec<u64> = (0..n as u64).rev().collect();
+        let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mapping: Vec<ProcId> = (0..n).map(|i| p(i % 8)).collect();
+        ev.reset(&mapping).unwrap();
+        for step in 0..200 {
+            let t = rng.gen_range(0..n);
+            let expected;
+            let got;
+            if rng.gen_bool(0.5) {
+                let q = rng.gen_range(0..8);
+                let mut cand = mapping.clone();
+                cand[t] = p(q);
+                expected = replay(&g, &topo, &params, &cfg, &cand, &order);
+                got = ev.eval_relocate(TaskId::from_index(t), p(q)).unwrap();
+                if rng.gen_bool(0.6) {
+                    ev.commit();
+                    mapping = cand;
+                }
+            } else {
+                let u = rng.gen_range(0..n);
+                let mut cand = mapping.clone();
+                cand.swap(t, u);
+                expected = replay(&g, &topo, &params, &cfg, &cand, &order);
+                got = ev
+                    .eval_swap(TaskId::from_index(t), TaskId::from_index(u))
+                    .unwrap();
+                if rng.gen_bool(0.6) {
+                    ev.commit();
+                    mapping = cand;
+                }
+            }
+            assert_eq!(got, expected, "step {step}");
+            assert_eq!(ev.mapping(), mapping.as_slice(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn no_comm_mode_matches_engine() {
+        let g = sample_graph(5);
+        let topo = bus(4);
+        let params = CommParams::zero();
+        let cfg = SimConfig {
+            comm_enabled: false,
+            ..SimConfig::default()
+        };
+        let order: Vec<u64> = (0..g.num_tasks() as u64).collect();
+        let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order.clone()).unwrap();
+        let mapping: Vec<ProcId> = (0..g.num_tasks()).map(|i| p(i % 4)).collect();
+        let fast = ev.reset(&mapping).unwrap();
+        assert_eq!(fast, replay(&g, &topo, &params, &cfg, &mapping, &order));
+        // single processor serializes exactly
+        let topo1 = linear(1);
+        let mut ev1 = FixedEval::new(&g, &topo1, &params, &cfg, order).unwrap();
+        let all0 = vec![p(0); g.num_tasks()];
+        assert_eq!(ev1.reset(&all0).unwrap(), g.total_work());
+    }
+
+    #[test]
+    fn zero_load_tasks_and_tiny_graphs() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(0);
+        let c = b.add_task(us(5.0));
+        let d = b.add_task(0);
+        b.add_edge(a, c, us(2.0)).unwrap();
+        b.add_edge(c, d, 0).unwrap();
+        let g = b.build().unwrap();
+        let topo = linear(2);
+        let params = CommParams::paper();
+        let cfg = SimConfig::default();
+        let order = vec![0, 1, 2];
+        let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order.clone()).unwrap();
+        for mapping in [
+            vec![p(0), p(1), p(0)],
+            vec![p(0), p(0), p(1)],
+            vec![p(1), p(0), p(0)],
+        ] {
+            assert_eq!(
+                ev.reset(&mapping).unwrap(),
+                replay(&g, &topo, &params, &cfg, &mapping, &order)
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_move_evaluation_is_allocation_free_of_results() {
+        // Smoke for buffer reuse: thousands of evaluations on one
+        // evaluator must agree with the engine at the end of the chain.
+        let g = sample_graph(13);
+        let n = g.num_tasks();
+        let topo = ring(5);
+        let params = CommParams::paper();
+        let cfg = SimConfig::default();
+        let order: Vec<u64> = vec![0; n];
+        let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mapping: Vec<ProcId> = (0..n).map(|i| p(i % 5)).collect();
+        ev.reset(&mapping).unwrap();
+        for _ in 0..2000 {
+            let t = rng.gen_range(0..n);
+            let q = rng.gen_range(0..5);
+            ev.eval_relocate(TaskId::from_index(t), p(q)).unwrap();
+            if rng.gen_bool(0.3) {
+                ev.commit();
+            }
+        }
+        let final_mapping = ev.mapping().to_vec();
+        assert_eq!(
+            ev.makespan(),
+            replay(&g, &topo, &params, &cfg, &final_mapping, &order)
+        );
+        assert_eq!(ev.evaluations(), 2001);
+    }
+
+    #[test]
+    fn invalid_mappings_are_rejected() {
+        let g = sample_graph(1);
+        let topo = bus(2);
+        let params = CommParams::paper();
+        let cfg = SimConfig::default();
+        let order: Vec<u64> = (0..g.num_tasks() as u64).collect();
+        let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order).unwrap();
+        let short = vec![p(0); g.num_tasks() - 1];
+        assert!(matches!(
+            ev.reset(&short),
+            Err(SimError::InvalidAssignment(_))
+        ));
+        let out_of_range = vec![p(7); g.num_tasks()];
+        assert!(matches!(
+            ev.reset(&out_of_range),
+            Err(SimError::InvalidAssignment(_))
+        ));
+    }
+
+    #[test]
+    fn event_limit_is_enforced() {
+        let g = sample_graph(1);
+        let topo = linear(2);
+        let params = CommParams::paper();
+        let cfg = SimConfig {
+            comm_enabled: true,
+            max_events: 3,
+        };
+        let order: Vec<u64> = (0..g.num_tasks() as u64).collect();
+        let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order).unwrap();
+        let mapping: Vec<ProcId> = (0..g.num_tasks()).map(|i| p(i % 2)).collect();
+        assert_eq!(ev.reset(&mapping), Err(SimError::EventLimit));
+    }
+}

@@ -30,11 +30,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod eval;
 pub mod gantt;
 pub mod result;
 pub mod scheduler;
 
 pub use engine::{simulate, SimConfig, SimError};
+pub use eval::FixedEval;
 pub use gantt::{Gantt, Span, SpanKind};
 pub use result::{CommStats, PacketStats, SimResult};
 pub use scheduler::{EpochContext, FixedMapping, GreedyScheduler, OnlineScheduler};

@@ -1,0 +1,95 @@
+//! Regression gate for the bumped whole-graph SA defaults.
+//!
+//! Incremental move evaluation made static SA's moves several times
+//! cheaper, so the default temperature budget doubled
+//! (`max_iters` 120 → 240, `stable_iters` 8 → 12;
+//! `StaticSaConfig::pre_incremental()` preserves the old budget). This
+//! suite pins the bargain on the frozen adversarial corpus: on every
+//! `corpus/sa-*.tgi` instance, the new defaults must beat or tie the
+//! pre-incremental defaults' makespan within the corpus regression
+//! tolerance — and because only the budget grew (the per-temperature
+//! RNG stream is unchanged, so the longer run explores a strict
+//! superset of candidates), they must in fact never lose at all.
+
+use anneal_arena::{load_corpus_dir, regression_seed, REGRESSION_TOLERANCE};
+use anneal_core::static_sa::{static_sa, StaticSaConfig};
+use anneal_core::EvaluatorKind;
+
+#[test]
+fn bumped_defaults_beat_or_tie_on_the_frozen_sa_corpus() {
+    let corpus = load_corpus_dir("corpus").expect("corpus/ must load cleanly");
+    let sa_instances: Vec<_> = corpus
+        .iter()
+        .filter(|fi| fi.name().starts_with("sa-"))
+        .collect();
+    assert!(
+        !sa_instances.is_empty(),
+        "corpus must hold sa-* instances (frozen against staged SA)"
+    );
+    for fi in sa_instances {
+        let inst = fi.to_instance().expect("frozen instance replays");
+        let seed = regression_seed("static-sa", fi.name());
+        let run = |cfg: StaticSaConfig| {
+            static_sa(
+                &inst.graph,
+                &inst.topology,
+                &inst.params,
+                &inst.sim_cfg,
+                &StaticSaConfig { seed, ..cfg },
+            )
+            .unwrap()
+            .result
+            .makespan
+        };
+        let old = run(StaticSaConfig::pre_incremental());
+        let new = run(StaticSaConfig::default());
+        // Hard bound: the corpus tolerance the rest of the repo uses.
+        let budget = (old as f64 * (1.0 + REGRESSION_TOLERANCE)) as u64;
+        assert!(
+            new <= budget,
+            "{}: defaults regressed beyond tolerance ({new} > {budget})",
+            fi.name()
+        );
+        // Sharper bound: prefix extension can only improve.
+        assert!(
+            new <= old,
+            "{}: bumped defaults lost to pre-incremental budget ({new} > {old})",
+            fi.name()
+        );
+    }
+}
+
+/// The two evaluator kinds must agree on corpus instances too — the
+/// frozen baselines cannot depend on the `--evaluator` toggle.
+#[test]
+fn evaluator_kinds_agree_on_corpus_instances() {
+    let corpus = load_corpus_dir("corpus").expect("corpus/ must load cleanly");
+    for fi in corpus.iter().take(3) {
+        let inst = fi.to_instance().expect("frozen instance replays");
+        let seed = regression_seed("static-sa", fi.name());
+        let cfg = StaticSaConfig {
+            seed,
+            max_iters: 30,
+            stable_iters: 6,
+            ..StaticSaConfig::default()
+        };
+        let run = |kind| {
+            static_sa(
+                &inst.graph,
+                &inst.topology,
+                &inst.params,
+                &inst.sim_cfg,
+                &StaticSaConfig {
+                    evaluator: kind,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap()
+        };
+        let full = run(EvaluatorKind::Full);
+        let incr = run(EvaluatorKind::Incremental);
+        assert_eq!(full.result.makespan, incr.result.makespan, "{}", fi.name());
+        assert_eq!(full.mapping, incr.mapping, "{}", fi.name());
+        assert_eq!(full.evaluations, incr.evaluations, "{}", fi.name());
+    }
+}
