@@ -17,22 +17,37 @@
 //! concrete counterexamples to "the target is never worse"; the best
 //! instance found is returned for regression suites and Gantt autopsies.
 //!
-//! Every candidate costs one evaluation per portfolio entry; rival
-//! evaluations fan out over `anneal_core::parallel::run_chunked`, and
-//! identical seeds give identical searches. Cell evaluation goes
-//! through [`PortfolioEntry::evaluate`](crate::PortfolioEntry), so
-//! mapping-producing entries (whole-graph static SA) are priced by
-//! `anneal-core`'s shared evaluator layer — with the incremental
-//! kernel, putting static SA in the field no longer dominates the
-//! search's cost, and the `--evaluator` toggle cannot change a ratio
-//! (only how fast it is computed).
+//! Re-pricing the whole portfolio per perturbation is the hottest loop
+//! in the repo, and it is tuned accordingly:
+//!
+//! * rival evaluations fan out over
+//!   `anneal_core::parallel::run_chunked_pooled`, every worker drawing
+//!   a warm `anneal_sim::SimScratch` from a search-wide
+//!   [`ScratchPool`] — cells run on the fast-path kernel (no Gantt, no
+//!   statistics, cached route tables, zero steady-state allocation)
+//!   with makespans bit-identical to the full engine;
+//! * candidates are **memoized by instance content**: the SA walk over
+//!   a small graph frequently proposes an instance it has already
+//!   priced (a rejected edit re-proposed, a perturbation that rounds
+//!   to a no-op), and since every entry's makespan is a pure function
+//!   of `(instance, seed)` with both fixed per search, an
+//!   already-priced candidate provably has the same breakdown — the
+//!   whole portfolio fan-out is skipped ([`AdversaryOutcome`] reports
+//!   the hit count).
+//!
+//! Identical seeds give identical searches either way; mapped entries
+//! (whole-graph static SA) still price their annealing moves through
+//! `anneal-core`'s shared evaluator layer, and the `--evaluator`
+//! toggle cannot change a ratio (only how fast it is computed).
+
+use std::collections::HashMap;
 
 use anneal_core::boltzmann::{accept, AcceptanceRule};
 use anneal_core::cooling::CoolingSchedule;
-use anneal_core::parallel::run_chunked;
+use anneal_core::parallel::{run_chunked_pooled, ScratchPool};
 use anneal_graph::perturb::{perturb, DagEdit, PerturbConfig};
-use anneal_graph::TaskGraph;
-use anneal_sim::SimError;
+use anneal_graph::{textio, TaskGraph};
+use anneal_sim::{SimError, SimScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -109,6 +124,32 @@ pub fn makespan_ratio(
     seed: u64,
     max_threads: usize,
 ) -> Result<RatioBreakdown, SimError> {
+    makespan_ratio_pooled(
+        portfolio,
+        target,
+        inst,
+        seed,
+        max_threads,
+        &ScratchPool::new(),
+    )
+}
+
+/// [`makespan_ratio`] drawing evaluation scratch from a caller-owned
+/// pool, so repeated ratio evaluations (the adversarial search prices
+/// hundreds of candidates) reuse warm buffers instead of re-allocating
+/// the simulation state per candidate.
+///
+/// # Panics
+///
+/// Panics when `target` is not in the portfolio or is its only entry.
+pub fn makespan_ratio_pooled(
+    portfolio: &Portfolio,
+    target: &str,
+    inst: &ArenaInstance,
+    seed: u64,
+    max_threads: usize,
+    pool: &ScratchPool<SimScratch>,
+) -> Result<RatioBreakdown, SimError> {
     let target_entry = portfolio
         .get(target)
         .unwrap_or_else(|| panic!("target '{target}' not in portfolio"));
@@ -118,16 +159,15 @@ pub fn makespan_ratio(
         "portfolio must hold a rival for '{target}'"
     );
     let jobs = field.len() + 1;
-    let makespans: Vec<Result<u64, SimError>> = run_chunked(jobs, max_threads, |k| {
-        let entry = if k == 0 {
-            target_entry
-        } else {
-            &field.entries()[k - 1]
-        };
-        entry
-            .evaluate(inst, cell_seed(seed, k as u64, 0))
-            .map(|r| r.makespan)
-    });
+    let makespans: Vec<Result<u64, SimError>> =
+        run_chunked_pooled(jobs, max_threads, pool, |scratch, k| {
+            let entry = if k == 0 {
+                target_entry
+            } else {
+                &field.entries()[k - 1]
+            };
+            entry.evaluate_makespan(inst, cell_seed(seed, k as u64, 0), scratch)
+        });
     let mut it = makespans.into_iter();
     let target_makespan = it.next().expect("target job ran")?;
     let mut best: Option<(usize, u64)> = None;
@@ -156,9 +196,15 @@ pub struct AdversaryOutcome {
     pub best: RatioBreakdown,
     /// The seed instance's ratio, for before/after comparison.
     pub initial: RatioBreakdown,
-    /// Candidate instances evaluated (each costing one simulation per
-    /// portfolio entry).
+    /// Candidate instances priced by simulation (each costing one
+    /// evaluation per portfolio entry).
     pub evaluations: u64,
+    /// Candidate instances served from the content memo instead: the
+    /// proposed graph was byte-identical to an already-priced one, and
+    /// every entry's makespan is a pure function of `(instance, seed)`,
+    /// so the cached breakdown is provably the one a re-evaluation
+    /// would return.
+    pub cache_hits: u64,
     /// Best-so-far ratio after each temperature step.
     pub trajectory: Vec<f64>,
 }
@@ -186,7 +232,19 @@ pub fn adversarial_search(
 ) -> Result<AdversaryOutcome, SimError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evaluations = 0u64;
+    let mut cache_hits = 0u64;
+    // Warm evaluation scratch survives the whole search; the memo maps
+    // a candidate's canonical text (exact content, not a lossy hash) to
+    // its breakdown — sound because topology, parameters, engine
+    // config, portfolio and per-entry seeds are all fixed per search.
+    let pool: ScratchPool<SimScratch> = ScratchPool::new();
+    let mut memo: HashMap<String, RatioBreakdown> = HashMap::new();
     let mut eval = |graph: TaskGraph| -> Result<(TaskGraph, RatioBreakdown), SimError> {
+        let key = textio::to_text(&graph);
+        if let Some(b) = memo.get(&key) {
+            cache_hits += 1;
+            return Ok((graph, b.clone()));
+        }
         let inst = ArenaInstance {
             name: "candidate".into(),
             graph,
@@ -195,7 +253,15 @@ pub fn adversarial_search(
             sim_cfg: seed_instance.sim_cfg.clone(),
         };
         evaluations += 1;
-        let b = makespan_ratio(portfolio, &cfg.target, &inst, cfg.seed, cfg.max_threads)?;
+        let b = makespan_ratio_pooled(
+            portfolio,
+            &cfg.target,
+            &inst,
+            cfg.seed,
+            cfg.max_threads,
+            &pool,
+        )?;
+        memo.insert(key, b.clone());
         Ok((inst.graph, b))
     };
 
@@ -234,6 +300,7 @@ pub fn adversarial_search(
         best: best.1,
         initial,
         evaluations,
+        cache_hits,
         trajectory,
     })
 }
@@ -325,6 +392,7 @@ mod tests {
         assert_eq!(a.best.ratio, b.best.ratio);
         assert_eq!(a.trajectory, b.trajectory);
         assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.cache_hits, b.cache_hits);
         assert!(a.evaluations >= 1);
         // trajectory is monotonically non-decreasing
         assert!(a.trajectory.windows(2).all(|w| w[0] <= w[1]));

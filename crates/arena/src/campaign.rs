@@ -25,13 +25,13 @@
 //! from the command line; `docs/ARCHITECTURE.md` shows where it sits in
 //! the crate graph.
 
-use anneal_core::parallel::run_chunked;
+use anneal_core::parallel::run_chunked_scratch;
 use anneal_graph::generate::{
     chain, fork_join, gnp_dag, independent, layered_random, series_parallel, LayeredConfig, Range,
 };
 use anneal_graph::units::us;
 use anneal_report::Csv;
-use anneal_sim::SimError;
+use anneal_sim::{SimError, SimScratch};
 use anneal_topology::builders::{binary_tree, bus, hypercube, linear, mesh, ring, star, torus};
 use anneal_topology::Topology;
 use rand::rngs::StdRng;
@@ -239,13 +239,16 @@ pub fn run_shard(
         .collect();
     let rows = portfolio.len();
     let cols = columns.len();
-    let cells: Vec<Result<u64, SimError>> = run_chunked(rows * cols, cfg.max_threads, |k| {
-        let (e, c) = (k / cols, k % cols);
-        let seed = cell_seed(cfg.base_seed, e as u64, columns[c] as u64);
-        portfolio.entries()[e]
-            .evaluate(&instances[c], seed)
-            .map(|r| r.makespan)
-    });
+    let cells: Vec<Result<u64, SimError>> = run_chunked_scratch(
+        rows * cols,
+        cfg.max_threads,
+        SimScratch::new,
+        |scratch, k| {
+            let (e, c) = (k / cols, k % cols);
+            let seed = cell_seed(cfg.base_seed, e as u64, columns[c] as u64);
+            portfolio.entries()[e].evaluate_makespan(&instances[c], seed, scratch)
+        },
+    );
     let mut makespans = vec![vec![0u64; rows]; cols];
     for (k, cell) in cells.into_iter().enumerate() {
         makespans[k % cols][k / cols] = cell?;

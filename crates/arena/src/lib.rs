@@ -76,7 +76,8 @@ pub mod portfolio;
 pub mod tournament;
 
 pub use adversary::{
-    adversarial_search, makespan_ratio, AdversaryConfig, AdversaryOutcome, RatioBreakdown,
+    adversarial_search, makespan_ratio, makespan_ratio_pooled, AdversaryConfig, AdversaryOutcome,
+    RatioBreakdown,
 };
 pub use campaign::{
     campaign_instance, campaign_instances, run_shard, shard_columns, shard_file_name,

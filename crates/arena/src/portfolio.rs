@@ -30,7 +30,10 @@ use anneal_core::{
     level_dispatch_order, replay_mapping, CpopScheduler, EvaluatorKind, HeftScheduler,
     HlfScheduler, MctScheduler, SaConfig, SaScheduler,
 };
-use anneal_sim::{simulate, FixedMapping, GreedyScheduler, OnlineScheduler, SimError, SimResult};
+use anneal_sim::{
+    simulate, simulate_makespan, FixedMapping, GreedyScheduler, OnlineScheduler, SimError,
+    SimResult, SimScratch,
+};
 use anneal_topology::ProcId;
 
 use crate::instance::ArenaInstance;
@@ -173,6 +176,37 @@ impl PortfolioEntry {
                 )
             }
         }
+    }
+
+    /// [`PortfolioEntry::evaluate`] through the fast path
+    /// ([`anneal_sim::simulate_makespan`]): no Gantt, no statistics, no
+    /// allocated result — just the makespan, out of a reusable
+    /// `scratch`. **Bit-identical** to `evaluate(..).makespan` for
+    /// every entry (tested here and asserted by the
+    /// `portfolio_throughput` bench in CI).
+    ///
+    /// This is what tournament cells, campaign shards and the
+    /// adversary's ratio loop call: a worker thread holds one scratch
+    /// and sweeps cells with zero steady-state allocation in the
+    /// simulation layer.
+    pub fn evaluate_makespan(
+        &self,
+        inst: &ArenaInstance,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<u64, SimError> {
+        // `instantiate` is the one place that turns an entry into a
+        // runnable scheduler (mapped entries replay as FixedMapping);
+        // the fast path just drives it without the SimResult plumbing.
+        let mut sched = self.instantiate(inst, seed)?;
+        simulate_makespan(
+            &inst.graph,
+            &inst.topology,
+            &inst.params,
+            sched.as_mut(),
+            &inst.sim_cfg,
+            scratch,
+        )
     }
 }
 
@@ -432,6 +466,23 @@ mod tests {
         .unwrap();
         assert_eq!(direct.makespan, replayed.makespan);
         assert_eq!(direct.placement, replayed.placement);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_full_evaluation_for_every_entry() {
+        // One scratch swept across every (entry, instance, seed) cell,
+        // exactly like a tournament worker uses it.
+        let insts = smoke_instances(5);
+        let mut scratch = anneal_sim::SimScratch::new();
+        for entry in Portfolio::standard().entries() {
+            for inst in &insts {
+                for seed in [7, 42] {
+                    let full = entry.evaluate(inst, seed).unwrap().makespan;
+                    let fast = entry.evaluate_makespan(inst, seed, &mut scratch).unwrap();
+                    assert_eq!(fast, full, "{} on {} seed {seed}", entry.name(), inst.name);
+                }
+            }
+        }
     }
 
     #[test]

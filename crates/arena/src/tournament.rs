@@ -4,16 +4,19 @@
 //! a seed mixed deterministically from `(base_seed, row, column)`, so
 //! the whole matrix is reproducible bit-for-bit regardless of the
 //! thread cap; fan-out goes through
-//! [`anneal_core::parallel::run_chunked`]. Cells route through
-//! [`PortfolioEntry::evaluate`](crate::PortfolioEntry): online
-//! schedulers drive the discrete-event engine directly, mapped entries
-//! (whole-graph static SA) anneal and replay through `anneal-core`'s
-//! shared evaluator layer, so tournaments inherit the incremental
-//! kernel's speedup without any change here.
+//! [`anneal_core::parallel::run_chunked_scratch`], each worker carrying
+//! one `anneal_sim::SimScratch` across all its cells. Cells route
+//! through
+//! [`PortfolioEntry::evaluate_makespan`](crate::PortfolioEntry): the
+//! fast-path kernel (no Gantt, no statistics, reused buffers, cached
+//! route tables) with makespans bit-identical to the full engine, and
+//! mapped entries (whole-graph static SA) additionally price their
+//! annealing moves through `anneal-core`'s incremental evaluator.
 
-use anneal_core::parallel::run_chunked;
+use anneal_core::parallel::run_chunked_scratch;
 use anneal_report::{render_win_loss_matrix, Csv, WinLossOptions};
 use anneal_sim::SimError;
+use anneal_sim::SimScratch;
 
 use crate::instance::ArenaInstance;
 use crate::portfolio::Portfolio;
@@ -170,13 +173,16 @@ pub fn run_tournament(
     assert!(!instances.is_empty(), "no instances");
     let rows = portfolio.len();
     let cols = instances.len();
-    let cells: Vec<Result<u64, SimError>> = run_chunked(rows * cols, cfg.max_threads, |k| {
-        let (i, j) = (k / cols, k % cols);
-        let seed = cell_seed(cfg.base_seed, i as u64, j as u64);
-        portfolio.entries()[i]
-            .evaluate(&instances[j], seed)
-            .map(|r| r.makespan)
-    });
+    let cells: Vec<Result<u64, SimError>> = run_chunked_scratch(
+        rows * cols,
+        cfg.max_threads,
+        SimScratch::new,
+        |scratch, k| {
+            let (i, j) = (k / cols, k % cols);
+            let seed = cell_seed(cfg.base_seed, i as u64, j as u64);
+            portfolio.entries()[i].evaluate_makespan(&instances[j], seed, scratch)
+        },
+    );
     let mut makespans = vec![vec![0u64; cols]; rows];
     for (k, cell) in cells.into_iter().enumerate() {
         makespans[k / cols][k % cols] = cell?;

@@ -9,7 +9,7 @@
 //! byte-identical, which CI asserts.
 //!
 //! Usage: `arena [random_instances] [seed] [--paper]
-//! [--evaluator {full,incremental}]`
+//! [--threads T] [--evaluator {full,incremental}]`
 //!
 //! * `random_instances` — size of the synthetic family (default 6).
 //! * `seed` — base seed for instance generation and every cell
@@ -17,6 +17,9 @@
 //! * `--paper` — additionally include the paper's four programs on
 //!   their Table-2 architectures (slower; static SA anneals a complete
 //!   mapping per cell).
+//! * `--threads T` — cap the tournament's worker threads (default `0`
+//!   = available parallelism). Never changes results; makes throughput
+//!   measurements reproducible on shared CI runners.
 //! * `--evaluator` — how static SA prices its annealing moves
 //!   (default `incremental`). Both kinds produce byte-identical
 //!   artifacts — CI runs the tournament under each and diffs the CSVs.
@@ -31,6 +34,7 @@ use anneal_report::Table;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut evaluator = EvaluatorKind::default();
+    let mut threads = 0usize;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -40,6 +44,10 @@ fn main() {
                     .next()
                     .expect("--evaluator needs 'full' or 'incremental'");
                 evaluator = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--threads" => {
+                let t = it.next().and_then(|v| v.parse().ok());
+                threads = t.expect("--threads needs a thread count");
             }
             a if a.starts_with("--") => {} // handled below
             _ => positional.push(arg),
@@ -60,7 +68,7 @@ fn main() {
         &instances,
         &TournamentConfig {
             base_seed: seed,
-            max_threads: 0,
+            max_threads: threads,
         },
     )
     .expect("tournament run failed");

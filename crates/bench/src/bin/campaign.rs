@@ -1,5 +1,5 @@
-//! Sharded 1000-instance campaign runner with resumable shards and an
-//! incremental, byte-reproducible merge.
+//! Sharded 1000-instance campaign runner with resumable shards, a
+//! multi-process driver and an incremental, byte-reproducible merge.
 //!
 //! A campaign evaluates a scheduler portfolio on a large generated
 //! instance family (`anneal_arena::campaign_instance`), split into
@@ -9,6 +9,13 @@
 //! * each shard writes `shard-<k>.csv` into the campaign directory;
 //!   an existing artifact is **skipped**, which is what makes a partial
 //!   campaign resumable (delete a shard file to force a re-run);
+//! * `--procs N` scales out over the same contract: the runner
+//!   re-spawns **itself** once per shard (`--shard K --no-merge`), at
+//!   most `N` children at a time, and merges once every child is done.
+//!   Because a shard's cells are a pure function of the campaign
+//!   parameters, the merged CSVs are byte-identical to an in-process
+//!   run — and a killed multi-process campaign resumes exactly like a
+//!   single-process one, from whatever shard artifacts survived;
 //! * when every shard artifact is present, the runner merges them into
 //!   `matrix.csv` (the full portfolio × instance matrix, sorted by
 //!   global instance index) and `standings.csv` (per-scheduler wins and
@@ -19,7 +26,8 @@
 //!   agree cell for cell.
 //!
 //! Usage: `campaign [instances] [shards] [seed] [--full] [--shard K]
-//! [--merge-only] [--dir PATH] [--evaluator {full,incremental}]`
+//! [--procs N] [--threads T] [--merge-only] [--no-merge] [--dir PATH]
+//! [--evaluator {full,incremental}]`
 //!
 //! * `instances` — family size (default 1000).
 //! * `shards` — shard count (default 8).
@@ -28,7 +36,17 @@
 //!   static SA (slower; default is `Portfolio::fast()`).
 //! * `--shard K` — run only shard `K`, then merge if all artifacts
 //!   exist (for driving shards from separate processes).
+//! * `--procs N` — multi-process driver: spawn one child process per
+//!   shard, at most `N` concurrently. Merged output is byte-identical
+//!   to `--procs 0` (in-process; the default).
+//! * `--threads T` — cap the per-shard evaluation thread pool (default
+//!   `0` = available parallelism). Never changes results; use it to
+//!   make throughput measurements reproducible on shared CI runners,
+//!   and combine with `--procs` to keep `procs × threads` within the
+//!   machine.
 //! * `--merge-only` — skip running, only merge existing artifacts.
+//! * `--no-merge` — run shards but never merge (used by `--procs`
+//!   children so only the parent writes the merged CSVs).
 //! * `--dir PATH` — campaign directory (default `results/campaign`).
 //! * `--evaluator` — how static SA (only present with `--full`) prices
 //!   its annealing moves (default `incremental`). The choice never
@@ -36,6 +54,7 @@
 //!   it is still stamped into `campaign.meta` for provenance.
 
 use std::path::PathBuf;
+use std::process::{Child, Command};
 
 use anneal_arena::{run_shard, shard_file_name, CampaignConfig, Portfolio};
 use anneal_core::EvaluatorKind;
@@ -46,7 +65,9 @@ struct Args {
     full: bool,
     evaluator: EvaluatorKind,
     only_shard: Option<usize>,
+    procs: usize,
     merge_only: bool,
+    no_merge: bool,
     dir: PathBuf,
 }
 
@@ -56,16 +77,28 @@ fn parse_args() -> Args {
     let mut full = false;
     let mut evaluator = EvaluatorKind::default();
     let mut only_shard = None;
+    let mut procs = 0usize;
+    let mut threads = 0usize;
     let mut merge_only = false;
+    let mut no_merge = false;
     let mut dir = PathBuf::from("results/campaign");
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => full = true,
             "--merge-only" => merge_only = true,
+            "--no-merge" => no_merge = true,
             "--shard" => {
                 let k = it.next().and_then(|v| v.parse().ok());
                 only_shard = Some(k.expect("--shard needs an index"));
+            }
+            "--procs" => {
+                let n = it.next().and_then(|v| v.parse().ok());
+                procs = n.expect("--procs needs a process count");
+            }
+            "--threads" => {
+                let t = it.next().and_then(|v| v.parse().ok());
+                threads = t.expect("--threads needs a thread count");
             }
             "--dir" => {
                 dir = PathBuf::from(it.next().expect("--dir needs a path"));
@@ -86,14 +119,16 @@ fn parse_args() -> Args {
         instances: positional.first().map(|&v| v as usize).unwrap_or(1000),
         shards: positional.get(1).map(|&v| v as usize).unwrap_or(8),
         base_seed: positional.get(2).copied().unwrap_or(42),
-        max_threads: 0,
+        max_threads: threads,
     };
     Args {
         cfg,
         full,
         evaluator,
         only_shard,
+        procs,
         merge_only,
+        no_merge,
         dir,
     }
 }
@@ -102,7 +137,8 @@ fn parse_args() -> Args {
 /// parameters of their own, so resuming must refuse to mix artifacts
 /// produced under different settings — a shard computed with another
 /// seed would merge cleanly (same header, same shape) into a silently
-/// wrong matrix.
+/// wrong matrix. (`--procs`/`--threads` are deliberately absent: they
+/// never change a cell.)
 fn provenance(cfg: &CampaignConfig, full: bool, evaluator: EvaluatorKind) -> String {
     format!(
         "instances={}\nshards={}\nseed={}\nportfolio={}\nevaluator={}\n",
@@ -127,6 +163,78 @@ fn check_provenance(dir: &std::path::Path, expected: &str) {
     }
 }
 
+/// Spawns one child process per shard over the existing shard/merge
+/// contract — the scale-out path of ROADMAP item (f). Children skip
+/// shards whose artifact already exists (resume) and never merge; the
+/// parent merges after the last child exits, so the merged CSVs are
+/// written exactly once.
+fn run_multiprocess(args: &Args) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let base: Vec<String> = {
+        let mut v = vec![
+            args.cfg.instances.to_string(),
+            args.cfg.shards.to_string(),
+            args.cfg.base_seed.to_string(),
+            "--dir".into(),
+            args.dir.display().to_string(),
+            "--threads".into(),
+            args.cfg.max_threads.to_string(),
+            "--no-merge".into(),
+            "--evaluator".into(),
+            args.evaluator.to_string(),
+        ];
+        if args.full {
+            v.push("--full".into());
+        }
+        v
+    };
+    let mut running: Vec<(usize, Child)> = Vec::new();
+    // Reap *any* finished child (not the oldest): a slow shard must not
+    // head-of-line-block the spawning of further shards while other
+    // process slots sit idle. A failed child takes the whole campaign
+    // down *cleanly*: the still-running children are killed and waited
+    // first, so an immediate re-run never races orphans on the same
+    // shard files.
+    let reap_one = |running: &mut Vec<(usize, Child)>| loop {
+        let mut i = 0;
+        while i < running.len() {
+            let (k, child) = &mut running[i];
+            match child.try_wait().expect("poll shard child") {
+                Some(status) if status.success() => {
+                    running.remove(i);
+                    return;
+                }
+                Some(status) => {
+                    let failed = *k;
+                    running.remove(i);
+                    for (_, orphan) in running.iter_mut() {
+                        let _ = orphan.kill();
+                        let _ = orphan.wait();
+                    }
+                    panic!("shard {failed} child failed: {status}");
+                }
+                None => i += 1,
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    for k in 0..args.cfg.shards {
+        if running.len() >= args.procs {
+            reap_one(&mut running);
+        }
+        let child = Command::new(&exe)
+            .args(&base)
+            .args(["--shard", &k.to_string()])
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn shard {k}: {e}"));
+        println!("shard {k}: spawned process {}", child.id());
+        running.push((k, child));
+    }
+    while !running.is_empty() {
+        reap_one(&mut running);
+    }
+}
+
 fn main() {
     let args = parse_args();
     args.cfg.validate();
@@ -139,28 +247,41 @@ fn main() {
     check_provenance(&args.dir, &provenance(&args.cfg, args.full, args.evaluator));
 
     if !args.merge_only {
-        let shards: Vec<usize> = match args.only_shard {
-            Some(k) => {
-                assert!(k < args.cfg.shards, "--shard {k} out of range");
-                vec![k]
+        if args.procs > 0 && args.only_shard.is_none() {
+            run_multiprocess(&args);
+        } else {
+            let shards: Vec<usize> = match args.only_shard {
+                Some(k) => {
+                    assert!(k < args.cfg.shards, "--shard {k} out of range");
+                    vec![k]
+                }
+                None => (0..args.cfg.shards).collect(),
+            };
+            for k in shards {
+                let path = args.dir.join(shard_file_name(k));
+                if path.exists() {
+                    println!("shard {k}: {} exists, skipping (resume)", path.display());
+                    continue;
+                }
+                let r = run_shard(&portfolio, &args.cfg, k).expect("shard run failed");
+                // Write-then-rename: a campaign killed mid-write must
+                // never leave a truncated shard artifact behind — the
+                // resume path skips any existing `shard-<k>.csv` as
+                // complete, so a partial file would wedge the merge.
+                let tmp = path.with_extension("csv.tmp");
+                r.to_csv().write_to(&tmp).expect("write shard csv");
+                std::fs::rename(&tmp, &path).expect("publish shard csv");
+                println!(
+                    "shard {k}: {} instances x {} schedulers -> {}",
+                    r.columns.len(),
+                    r.schedulers.len(),
+                    path.display()
+                );
             }
-            None => (0..args.cfg.shards).collect(),
-        };
-        for k in shards {
-            let path = args.dir.join(shard_file_name(k));
-            if path.exists() {
-                println!("shard {k}: {} exists, skipping (resume)", path.display());
-                continue;
-            }
-            let r = run_shard(&portfolio, &args.cfg, k).expect("shard run failed");
-            r.to_csv().write_to(&path).expect("write shard csv");
-            println!(
-                "shard {k}: {} instances x {} schedulers -> {}",
-                r.columns.len(),
-                r.schedulers.len(),
-                path.display()
-            );
         }
+    }
+    if args.no_merge {
+        return;
     }
 
     // Incremental merge: only when every shard artifact is present.

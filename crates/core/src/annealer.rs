@@ -102,7 +102,11 @@ pub fn anneal_packet<R: Rng + ?Sized>(
     }
     let (mut fb, mut fc) = cm.raw_full(&m);
     let mut cost = cm.total(fb, fc);
-    let mut best = (cost, m.clone());
+    // The best-so-far mapping is kept in a reused buffer: `clone_from`
+    // instead of `clone` per improvement, so the hot loop allocates
+    // nothing after this point.
+    let mut best_cost = cost;
+    let mut best_m = m.clone();
 
     let mut trace = want_trace.then(|| PacketTrace {
         packet: 0,
@@ -165,8 +169,9 @@ pub fn anneal_packet<R: Rng + ?Sized>(
                 }
             }
             cost = cm.total(fb, fc);
-            if params.keep_best && cost < best.0 {
-                best = (cost, m.clone());
+            if params.keep_best && cost < best_cost {
+                best_cost = cost;
+                best_m.clone_from(&m);
             }
             if let Some(tr) = trace.as_mut() {
                 tr.samples.push(TraceSample {
@@ -190,8 +195,8 @@ pub fn anneal_packet<R: Rng + ?Sized>(
         k += 1;
     }
 
-    let (final_cost, final_m) = if params.keep_best && best.0 < cost {
-        best
+    let (final_cost, final_m) = if params.keep_best && best_cost < cost {
+        (best_cost, best_m)
     } else {
         (cost, m)
     };

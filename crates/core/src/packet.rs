@@ -48,18 +48,15 @@ impl AnnealingPacket {
         let mut comm_cost = vec![vec![0u64; procs.len()]; tasks.len()];
         let mut worst_comm = vec![0u64; tasks.len()];
         if ctx.comm_enabled {
+            let mut preds: Vec<(ProcId, Work)> = Vec::new();
             for (i, &t) in tasks.iter().enumerate() {
                 // Predecessor placements are all known: ready ⇒ finished.
-                let preds: Vec<(ProcId, Work)> = ctx
-                    .graph
-                    .predecessors(t)
-                    .iter()
-                    .map(|e| {
-                        let src = ctx.placement[e.target.index()]
-                            .expect("predecessor of a ready task is placed");
-                        (src, e.weight)
-                    })
-                    .collect();
+                preds.clear();
+                preds.extend(ctx.graph.predecessors(t).iter().map(|e| {
+                    let src = ctx.placement[e.target.index()]
+                        .expect("predecessor of a ready task is placed");
+                    (src, e.weight)
+                }));
                 for (j, &q) in procs.iter().enumerate() {
                     let mut c = 0u64;
                     for &(src, w) in &preds {

@@ -38,6 +38,43 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_chunked_scratch(jobs, max_threads, || (), |(), i| f(i))
+}
+
+/// [`run_chunked`] with **per-worker scratch state**: each worker calls
+/// `init` once on its own thread and threads the resulting value
+/// through every job it handles. This is how evaluation scratch
+/// (`anneal_sim::SimScratch`) is reused *across* cells of a tournament
+/// or campaign shard instead of being rebuilt per cell — the worker's
+/// scratch stays warm from job to job. Results must not depend on the
+/// scratch state (scratch is an optimization, never an input), so the
+/// output remains reproducible under any thread cap.
+pub fn run_chunked_scratch<T, S, I, F>(jobs: usize, max_threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_chunked_impl(jobs, max_threads, init, drop, f)
+}
+
+/// The one fan-out loop behind [`run_chunked`], [`run_chunked_scratch`]
+/// and [`run_chunked_pooled`]: strided job assignment, per-worker
+/// scratch obtained from `init` and handed to `done` when the worker
+/// finishes (both run on the worker's own thread).
+fn run_chunked_impl<T, S, I, D, F>(
+    jobs: usize,
+    max_threads: usize,
+    init: I,
+    done: D,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    D: Fn(S) + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if jobs == 0 {
         return Vec::new();
     }
@@ -48,17 +85,21 @@ where
     }
     .min(jobs);
     let f = &f;
+    let init = &init;
+    let done = &done;
     let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(jobs).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 scope.spawn(move || {
+                    let mut scratch = init();
                     let mut out = Vec::new();
                     let mut i = w;
                     while i < jobs {
-                        out.push((i, f(i)));
+                        out.push((i, f(&mut scratch, i)));
                         i += threads;
                     }
+                    done(scratch);
                     out
                 })
             })
@@ -73,6 +114,77 @@ where
         .into_iter()
         .map(|s| s.expect("every job index is covered by exactly one worker"))
         .collect()
+}
+
+/// A shared pool of scratch values for *repeated* fan-outs.
+///
+/// [`run_chunked_scratch`] warms one scratch per worker, but the
+/// workers die with the call — a caller that fans out thousands of
+/// times (the adversarial search prices every candidate instance
+/// against the whole portfolio) would re-warm from scratch on every
+/// fan-out. A `ScratchPool` keeps the warmed values alive between
+/// calls: workers take one at start ([`ScratchPool::take`] falls back
+/// to `Default` when the pool is dry) and return it when done, so
+/// across an entire search only about `max_threads` scratches are ever
+/// created.
+#[derive(Debug)]
+pub struct ScratchPool<S> {
+    pool: std::sync::Mutex<Vec<S>>,
+}
+
+impl<S> Default for ScratchPool<S> {
+    fn default() -> Self {
+        ScratchPool {
+            pool: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<S: Default> ScratchPool<S> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a pooled (warm) scratch, or a fresh default one.
+    pub fn take(&self) -> S {
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch to the pool for the next fan-out.
+    pub fn put(&self, s: S) {
+        self.pool.lock().expect("scratch pool poisoned").push(s);
+    }
+
+    /// Number of pooled scratches (diagnostics).
+    pub fn len(&self) -> usize {
+        self.pool.lock().expect("scratch pool poisoned").len()
+    }
+
+    /// `true` when no scratch is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`run_chunked_scratch`] drawing worker scratches from (and returning
+/// them to) a [`ScratchPool`], for callers that fan out repeatedly.
+pub fn run_chunked_pooled<T, S, F>(
+    jobs: usize,
+    max_threads: usize,
+    pool: &ScratchPool<S>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    S: Default + Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_chunked_impl(jobs, max_threads, || pool.take(), |s| pool.put(s), f)
 }
 
 /// Outcome of a restart sweep.
@@ -297,6 +409,56 @@ mod tests {
         }
         assert!(run_chunked(0, 3, |i| i).is_empty());
         assert!(default_max_threads() >= 1);
+    }
+
+    #[test]
+    fn run_chunked_scratch_reuses_per_worker_state() {
+        // With one worker, the scratch threads through every job in
+        // order; results stay in job order regardless of cap.
+        let out = run_chunked_scratch(
+            6,
+            1,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        for cap in [0, 2, 5] {
+            let out = run_chunked_scratch(9, cap, || (), |(), i| i * 3);
+            assert_eq!(out, (0..9).map(|i| i * 3).collect::<Vec<_>>(), "cap {cap}");
+        }
+        assert!(run_chunked_scratch(0, 2, || (), |(), i| i).is_empty());
+    }
+
+    #[test]
+    fn scratch_pool_recycles_across_fanouts() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        assert!(pool.is_empty());
+        for round in 0..3 {
+            let out = run_chunked_pooled(8, 2, &pool, |scratch, i| {
+                scratch.push(i as u64);
+                i * 2
+            });
+            assert_eq!(
+                out,
+                (0..8).map(|i| i * 2).collect::<Vec<_>>(),
+                "round {round}"
+            );
+            // every worker returned its scratch (a fast worker's
+            // scratch may have been re-taken by a slower one, so the
+            // count is 1..=2, never 0 and never growing per round)
+            let len = pool.len();
+            assert!((1..=2).contains(&len), "round {round}: {len}");
+        }
+        // every job of every round landed in a scratch that is back in
+        // the pool: the pooled scratches hold all 24 pushes.
+        let mut total = 0;
+        while !pool.is_empty() {
+            total += pool.take().len();
+        }
+        assert_eq!(total, 24);
     }
 
     #[test]

@@ -8,19 +8,14 @@
 //! [`SimResult`](crate::SimResult) — all to read one number, the
 //! makespan.
 //!
-//! [`FixedEval`] is a specialized re-implementation of the
-//! discrete-event engine for the [`FixedMapping`](crate::FixedMapping)
-//! scheduler that produces **bit-identical makespans** (same events,
-//! same tie-breaking, same σ/τ preemption and channel FIFO contention)
-//! while doing none of that bookkeeping:
+//! [`FixedEval`] is a specialization of the shared fast-path kernel
+//! ([`crate::fastpath`] — packed 16-byte 4-ary event heap,
+//! per-processor compute-completion registers, precomputed all-pairs
+//! routes, fully reused buffers) to the
+//! [`FixedMapping`](crate::FixedMapping) scheduler. The kernel supplies
+//! the event plumbing; this module supplies the fixed-mapping dispatch
+//! rule (per-processor waiting lists) and everything **incremental**:
 //!
-//! * routes and per-hop channel ids are precomputed once per instance;
-//! * every buffer (event heap, processor and channel state, ready set)
-//!   is reused across evaluations — steady-state evaluation performs no
-//!   allocation;
-//! * no Gantt spans, statistics or result vectors are built.
-//!
-//! On top of the specialized kernel sits the **incremental** part:
 //! after [`FixedEval::eval_relocate`] or [`FixedEval::eval_swap`], only
 //! the *affected cone* of the move is recomputed. Because messages
 //! preempt third-party processors (routing τ) and contend for channels
@@ -48,31 +43,19 @@
 //! half a run (until then, candidates conservatively resume at the
 //! boundary — no worse than an average move).
 //!
-//! Two further departures from the engine's event plumbing keep the
-//! per-event cost low without changing any outcome: events live in a
-//! 4-ary heap of packed 16-byte `(time, seq|kind|arg)` entries, and
-//! task completions never enter the heap at all — each processor holds
-//! a completion *register* drawing sequence numbers from the same
-//! counter, and the main loop pops the global `(time, seq)` minimum
-//! across heap and registers, which is provably the order one merged
-//! heap would produce (a preemption disarms the register instead of
-//! leaving a stale event behind).
-//!
 //! The equivalence contract — `FixedEval` agrees with a from-scratch
 //! DES replay on every mapping, including after arbitrarily long
 //! relocate/swap/commit chains — is enforced by unit tests here and
-//! the proptest suite in `anneal-core/tests/evaluator.rs`.
-
-use std::collections::VecDeque;
+//! the proptest suite in `anneal-core/tests/evaluator.rs`; the
+//! allocation-regression test in `tests/alloc.rs` pins steady-state
+//! move evaluation at zero heap allocation.
 
 use anneal_graph::{TaskGraph, TaskId};
 use anneal_topology::{CommParams, ProcId, RouteTable, Topology};
 
-use crate::engine::{link_occupancy_time, SimConfig, SimError};
+use crate::engine::{SimConfig, SimError};
+use crate::fastpath::{Driver, FlatRoutes, HeapEv, KernelCtx, KernelState, MsgMeta, Oh, NONE};
 use crate::SimTime;
-
-const NONE: u32 = u32::MAX;
-const NOT_RUNNING: SimTime = SimTime::MAX;
 
 /// A candidate move, as the divergence scan sees it.
 #[derive(Debug, Clone, Copy)]
@@ -83,240 +66,48 @@ enum Mv {
     Swap { a: u32, b: u32, pa: u32, pb: u32 },
 }
 
-/// A heap entry is `(time, rest)` with
-/// `rest = seq << 32 | kind << 30 | arg`: 16 bytes total, ordered by
-/// `(time, seq)` since `seq` occupies the high bits — so pops replay
-/// the engine's insertion-order tie-breaking exactly. `arg` is a
-/// processor index for `TaskDone`/`OverheadDone` and a message (edge)
-/// id for `TransferDone`; both fit 30 bits by the assertions in
-/// [`FixedEval::new`]. `seq` is a per-run push counter; it cannot wrap
-/// because a run processes at most `max_events` (and pushes at most a
-/// small multiple of that before erroring).
-type HeapEv = (SimTime, u64);
-
-const KIND_OVERHEAD_DONE: u64 = 1;
-const KIND_TRANSFER_DONE: u64 = 2;
-const ARG_MASK: u64 = (1 << 30) - 1;
-
-#[inline]
-fn pack(seq: u64, kind: u64, arg: u32) -> u64 {
-    debug_assert!(seq < (1 << 32) && (arg as u64) <= ARG_MASK);
-    seq << 32 | kind << 30 | arg as u64
-}
-
-/// A 4-ary min-heap over `(time, rest)` pairs.
-///
-/// The event queue is the hottest structure in the evaluator (every
-/// simulated event is one push and one pop); a 4-ary layout halves the
-/// tree depth of the resident ~10–40 events and keeps each node's
-/// children in one cache line, which measures materially faster than
-/// `std::collections::BinaryHeap` here. Ordering is the total order on
-/// `(time, seq)` (seq lives in the high bits of `rest`), so pops
-/// reproduce the engine's insertion-order tie-breaking exactly.
-#[derive(Debug, Default)]
-struct EventHeap {
-    v: Vec<HeapEv>,
-}
-
-impl EventHeap {
-    fn clear(&mut self) {
-        self.v.clear();
-    }
-
-    #[inline]
-    fn peek_time(&self) -> Option<SimTime> {
-        self.v.first().map(|e| e.0)
-    }
-
-    #[inline]
-    fn peek(&self) -> Option<&HeapEv> {
-        self.v.first()
-    }
-
-    fn iter(&self) -> std::slice::Iter<'_, HeapEv> {
-        self.v.iter()
-    }
-
-    #[inline]
-    fn push(&mut self, x: HeapEv) {
-        let mut i = self.v.len();
-        self.v.push(x);
-        while i > 0 {
-            let parent = (i - 1) >> 2;
-            if self.v[parent] <= x {
-                break;
-            }
-            self.v[i] = self.v[parent];
-            i = parent;
-        }
-        self.v[i] = x;
-    }
-
-    #[inline]
-    fn pop(&mut self) -> Option<HeapEv> {
-        let len = self.v.len();
-        if len == 0 {
-            return None;
-        }
-        let top = self.v[0];
-        let x = self.v[len - 1];
-        self.v.truncate(len - 1);
-        let len = len - 1;
-        if len > 0 {
-            let mut i = 0;
-            loop {
-                let first = (i << 2) + 1;
-                if first >= len {
-                    break;
-                }
-                let last = (first + 4).min(len);
-                let mut m = first;
-                for c in first + 1..last {
-                    if self.v[c] < self.v[m] {
-                        m = c;
-                    }
-                }
-                if self.v[m] >= x {
-                    break;
-                }
-                self.v[i] = self.v[m];
-                i = m;
-            }
-            self.v[i] = x;
-        }
-        Some(top)
-    }
-}
-
-/// σ/τ overhead kinds (send, intermediate route, destination receive).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OhKind {
-    Send,
-    Route,
-    Receive,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Oh {
-    kind: OhKind,
-    dur: SimTime,
-    msg: u32,
-}
-
-/// Mutable per-processor state (the engine's `Proc`, minus statistics).
-///
-/// `Clone` is hand-written because snapshots copy these thousands of
-/// times per annealing chain: the derived impl's default `clone_from`
-/// would allocate fresh `VecDeque`s on every copy, while this one
-/// reuses the destination's capacity.
-#[derive(Debug, Default)]
-struct ProcState {
+/// The scalar slice of one processor's snapshot state; its two
+/// overhead queues live flattened in [`Snapshot::queue_items`]
+/// (`incoming_len` entries, then `sends_len`).
+#[derive(Debug, Clone, Copy, Default)]
+struct ProcSnap {
     assigned: u32,
     task: u32,
     remaining: SimTime,
     running_since: SimTime,
     cur_oh: Option<Oh>,
-    incoming: VecDeque<Oh>,
-    sends: VecDeque<Oh>,
-    /// The compute-completion *register*: when a task is running, the
-    /// time it will finish (`NOT_RUNNING` when idle or preempted) and
-    /// the sequence number drawn when it was armed. Task completions
-    /// never enter the event heap — the main loop merges the heap with
-    /// these registers by `(time, seq)`, which yields exactly the order
-    /// a heap-resident `TaskDone` would have had (the register draws
-    /// its seq from the same counter a push would), while a preemption
-    /// simply disarms the register instead of leaving a stale event to
-    /// pop. `OverheadDone` needs no counterpart because nothing can
-    /// preempt a running overhead (`pump` is a no-op while `cur_oh` is
-    /// occupied), so overhead timers are never stale.
     done_at: SimTime,
     done_seq: u64,
-}
-
-impl Clone for ProcState {
-    fn clone(&self) -> Self {
-        let mut out = ProcState::default();
-        out.clone_from(self);
-        out
-    }
-
-    fn clone_from(&mut self, src: &Self) {
-        self.assigned = src.assigned;
-        self.task = src.task;
-        self.remaining = src.remaining;
-        self.running_since = src.running_since;
-        self.cur_oh = src.cur_oh;
-        self.incoming.clear();
-        self.incoming.extend(src.incoming.iter().copied());
-        self.sends.clear();
-        self.sends.extend(src.sends.iter().copied());
-        self.done_at = src.done_at;
-        self.done_seq = src.done_seq;
-    }
-}
-
-impl ProcState {
-    fn reset(&mut self) {
-        self.assigned = NONE;
-        self.task = NONE;
-        self.remaining = 0;
-        self.running_since = NOT_RUNNING;
-        self.cur_oh = None;
-        self.incoming.clear();
-        self.sends.clear();
-        self.done_at = NOT_RUNNING;
-        self.done_seq = 0;
-    }
-}
-
-/// Channel state; `Clone` is hand-written for the same
-/// capacity-reusing reason as [`ProcState`].
-#[derive(Debug, Default)]
-struct ChanState {
-    busy: bool,
-    queue: VecDeque<u32>,
-}
-
-impl Clone for ChanState {
-    fn clone(&self) -> Self {
-        let mut out = ChanState::default();
-        out.clone_from(self);
-        out
-    }
-
-    fn clone_from(&mut self, src: &Self) {
-        self.busy = src.busy;
-        self.queue.clear();
-        self.queue.extend(src.queue.iter().copied());
-    }
-}
-
-/// Message state, addressed by the *predecessor-edge id* of the edge it
-/// carries (`pred_base[task] + k` for the task's `k`-th incoming edge).
-/// Edge ids are stable across runs — unlike creation-order ids — so a
-/// rejected candidate's messages can never corrupt slots that baseline
-/// snapshots still reference: every slot a snapshot's in-flight set
-/// names is rewritten from the snapshot itself on restore, and every
-/// other slot is rewritten at assignment before it is read.
-#[derive(Debug, Clone, Copy, Default)]
-struct MsgMeta {
-    dest_task: u32,
-    src: u32,
-    dest: u32,
-    weight: SimTime,
+    incoming_len: u32,
+    sends_len: u32,
 }
 
 /// Complete engine state at one scheduling epoch (taken *before* the
 /// epoch's dispatch decisions run). Restoring a snapshot and re-running
 /// reproduces the original suffix event for event.
+///
+/// Per-processor overhead queues and per-channel FIFO queues are
+/// stored flattened in shared arenas (`queue_items` / `chan_items`)
+/// rather than as nested `VecDeque`s: every message occupies at most
+/// one overhead queue and at most one channel queue at a time, so both
+/// arenas are bounded by the predecessor-edge count — `snap_record`
+/// reserves that bound once, after which recycling a pooled snapshot
+/// into *any* state allocates nothing (nested queues would keep
+/// reallocating whenever a recycled snapshot met a larger queue than
+/// it had ever held).
 #[derive(Debug, Clone, Default)]
 struct Snapshot {
     now: SimTime,
     seq: u64,
     events: u64,
     heap: Vec<HeapEv>,
-    procs: Vec<ProcState>,
-    channels: Vec<ChanState>,
+    procs: Vec<ProcSnap>,
+    /// Flattened per-proc overhead queues, in proc order.
+    queue_items: Vec<Oh>,
+    chan_busy: Vec<bool>,
+    chan_lens: Vec<u32>,
+    /// Flattened per-channel FIFO queues, in channel order.
+    chan_items: Vec<u32>,
     /// In-flight messages as `(edge id, meta, hop)`.
     live_msgs: Vec<(u32, MsgMeta, u32)>,
     placement: Vec<u32>,
@@ -335,6 +126,151 @@ struct Snapshot {
     decisions: Vec<(u32, u32)>,
 }
 
+/// The kernel driver for fixed-mapping runs: per-processor waiting
+/// lists make each epoch's dispatch O(idle + waiting) instead of
+/// O(ready × procs), `ready_at` feeds the divergence scan's lower
+/// bound, and the epoch hooks record baseline snapshots.
+struct FixedDriver<'s> {
+    order: &'s [u64],
+    mapping: &'s [ProcId],
+    waiting: &'s mut [Vec<u32>],
+    ready_at: &'s mut [SimTime],
+    record: bool,
+    base_snaps: &'s mut Vec<Snapshot>,
+    snap_pool: &'s mut Vec<Snapshot>,
+}
+
+impl Driver for FixedDriver<'_> {
+    /// Every idle processor takes its waiting ready task with the
+    /// lowest `(order, id)` — `FixedMapping::on_epoch`. Tasks waiting
+    /// per processor are disjoint, so scanning each idle processor's
+    /// own waiting list reproduces the engine's decisions exactly
+    /// without touching the full ready set.
+    fn dispatch(
+        &mut self,
+        k: &KernelState,
+        _ctx: &KernelCtx<'_>,
+        out: &mut Vec<(u32, u32)>,
+    ) -> Result<(), SimError> {
+        for (p, pr) in k.procs().iter().enumerate() {
+            if pr.assigned != NONE {
+                continue;
+            }
+            let mut best: Option<u32> = None;
+            for &t in &self.waiting[p] {
+                let better = match best {
+                    None => true,
+                    Some(b) => (self.order[t as usize], t) < (self.order[b as usize], b),
+                };
+                if better {
+                    best = Some(t);
+                }
+            }
+            if let Some(t) = best {
+                out.push((t, p as u32));
+            }
+        }
+        Ok(())
+    }
+
+    fn task_assigned(&mut self, t: u32, q: u32) {
+        let w = &mut self.waiting[q as usize];
+        let pos = w.iter().position(|&x| x == t).expect("task was waiting");
+        w.swap_remove(pos);
+    }
+
+    fn task_ready(&mut self, t: u32, now: SimTime) {
+        self.waiting[self.mapping[t as usize].index()].push(t);
+        self.ready_at[t as usize] = now;
+    }
+
+    fn epoch_begin(&mut self, k: &KernelState) {
+        if self.record {
+            snap_record(k, self.base_snaps, self.snap_pool);
+        }
+    }
+
+    fn epoch_end(&mut self, k: &KernelState) {
+        if self.record {
+            let snap = self.base_snaps.last_mut().expect("just recorded");
+            snap.decisions.clear();
+            snap.decisions.extend_from_slice(&k.assign_buf);
+        }
+    }
+}
+
+/// Records the kernel's current state as a snapshot (recycling pooled
+/// buffers). Every buffer is reserved to its exact worst-case bound
+/// first, so a recycled snapshot never reallocates regardless of which
+/// state it is asked to hold.
+fn snap_record(k: &KernelState, snaps: &mut Vec<Snapshot>, pool: &mut Vec<Snapshot>) {
+    let mut s = pool.pop().unwrap_or_default();
+    let n = k.placement.len();
+    let ne = k.msgs.len();
+    let np = k.num_procs;
+    let nc = k.num_channels;
+    s.now = k.now;
+    s.seq = k.seq;
+    s.events = k.events;
+    s.heap.clear();
+    s.heap.reserve(np + nc);
+    s.heap.extend(k.heap.iter().copied());
+    s.procs.clear();
+    s.procs.reserve(np);
+    s.queue_items.clear();
+    s.queue_items.reserve(ne);
+    for pr in k.procs() {
+        s.procs.push(ProcSnap {
+            assigned: pr.assigned,
+            task: pr.task,
+            remaining: pr.remaining,
+            running_since: pr.running_since,
+            cur_oh: pr.cur_oh,
+            done_at: pr.done_at,
+            done_seq: pr.done_seq,
+            incoming_len: pr.incoming.len() as u32,
+            sends_len: pr.sends.len() as u32,
+        });
+        s.queue_items.extend(pr.incoming.iter().copied());
+        s.queue_items.extend(pr.sends.iter().copied());
+    }
+    s.chan_busy.clear();
+    s.chan_busy.reserve(nc);
+    s.chan_lens.clear();
+    s.chan_lens.reserve(nc);
+    s.chan_items.clear();
+    s.chan_items.reserve(ne);
+    for ch in &k.channels[..nc] {
+        s.chan_busy.push(ch.busy);
+        s.chan_lens.push(ch.queue.len() as u32);
+        s.chan_items.extend(ch.queue.iter().copied());
+    }
+    s.live_msgs.clear();
+    s.live_msgs.reserve(ne);
+    s.live_msgs.extend(
+        k.live
+            .iter()
+            .map(|&id| (id, k.msgs[id as usize], k.msg_hop[id as usize])),
+    );
+    s.placement.clear();
+    s.placement.reserve(n);
+    s.placement.extend_from_slice(&k.placement);
+    s.unfinished.clear();
+    s.unfinished.reserve(n);
+    s.unfinished.extend_from_slice(&k.unfinished);
+    s.pending.clear();
+    s.pending.reserve(n);
+    s.pending.extend_from_slice(&k.pending);
+    s.ready.clear();
+    s.ready.reserve(n);
+    s.ready.extend_from_slice(&k.ready);
+    s.finished = k.finished;
+    s.max_finish = k.max_finish;
+    s.decisions.clear();
+    s.decisions.reserve(np);
+    snaps.push(s);
+}
+
 /// Incremental fixed-mapping makespan evaluator.
 ///
 /// Create one per `(graph, topology, params, config, dispatch order)`
@@ -347,17 +283,12 @@ struct Snapshot {
 pub struct FixedEval<'a> {
     g: &'a TaskGraph,
     num_procs: usize,
+    num_channels: usize,
     params: CommParams,
     comm_enabled: bool,
     max_events: u64,
     order: Vec<u64>,
-    // Flattened all-pairs routes: for pair `s*P + d`, `route_procs`
-    // holds the full hop chain (endpoints included) and `route_chans`
-    // the channel of each hop.
-    proc_off: Vec<u32>,
-    chan_off: Vec<u32>,
-    route_procs: Vec<u32>,
-    route_chans: Vec<u32>,
+    routes: FlatRoutes,
     /// `pred_base[t]` = first predecessor-edge id of task `t` (edge ids
     /// number the incoming edges of all tasks consecutively).
     pred_base: Vec<u32>,
@@ -386,42 +317,16 @@ pub struct FixedEval<'a> {
     cand_is_noop: bool,
     has_candidate: bool,
 
-    // Reusable run scratch (the live engine state of whichever run is
-    // in progress).
+    /// The live engine state of whichever run is in progress (the
+    /// shared fast-path kernel; every buffer reused).
+    k: KernelState,
     run_mapping: Vec<ProcId>,
-    now: SimTime,
-    heap: EventHeap,
-    seq: u64,
-    events: u64,
-    epoch_pending: bool,
-    procs: Vec<ProcState>,
-    channels: Vec<ChanState>,
-    msgs: Vec<MsgMeta>,
-    msg_hop: Vec<u32>,
-    /// Edge ids of messages currently in flight, plus each live edge's
-    /// position in that list (`NONE` when not live). Only used to bound
-    /// what snapshots must capture.
-    live: Vec<u32>,
-    live_pos: Vec<u32>,
-    placement: Vec<u32>,
-    unfinished: Vec<u32>,
-    pending: Vec<u32>,
-    ready: Vec<u32>,
     /// `waiting[p]` = ready tasks mapped to processor `p` under the
     /// current run's mapping (unordered; dispatch selects the minimum
-    /// by `(order, id)`). Derived state — rebuilt from `ready` on
-    /// restore — so snapshots don't store it.
+    /// by `(order, id)`). Derived state — rebuilt from the kernel's
+    /// ready set on restore — so snapshots don't store it.
     waiting: Vec<Vec<u32>>,
-    finished: u32,
-    max_finish: SimTime,
     ready_at: Vec<SimTime>,
-    assign_buf: Vec<(u32, u32)>,
-    /// Cached minimum over the per-proc completion registers as
-    /// `(done_at, done_seq, proc)`; `None` = no register armed. Marked
-    /// stale (`reg_cache_valid = false`) whenever the cached processor
-    /// disarms.
-    reg_cache: Option<(SimTime, u64, u32)>,
-    reg_cache_valid: bool,
     snap_pool: Vec<Snapshot>,
     evaluations: u64,
 }
@@ -444,53 +349,29 @@ impl<'a> FixedEval<'a> {
         order: Vec<u64>,
     ) -> Result<Self, SimError> {
         assert_eq!(order.len(), g.num_tasks(), "order must cover every task");
-        let routes = RouteTable::build(topo).map_err(|e| SimError::Disconnected(e.to_string()))?;
+        let table = RouteTable::build(topo).map_err(|e| SimError::Disconnected(e.to_string()))?;
+        let routes = FlatRoutes::build(topo, &table);
         let np = topo.num_procs();
-        let mut proc_off = Vec::with_capacity(np * np + 1);
-        let mut chan_off = Vec::with_capacity(np * np + 1);
-        let mut route_procs = Vec::new();
-        let mut route_chans = Vec::new();
-        proc_off.push(0);
-        chan_off.push(0);
-        for s in 0..np {
-            for d in 0..np {
-                let path = routes.route(ProcId::from_index(s), ProcId::from_index(d));
-                for w in path.windows(2) {
-                    let ch = topo
-                        .channel_of(w[0], w[1])
-                        .expect("route hops are adjacent");
-                    route_chans.push(ch.0);
-                }
-                route_procs.extend(path.iter().map(|p| p.raw()));
-                proc_off.push(route_procs.len() as u32);
-                chan_off.push(route_chans.len() as u32);
-            }
-        }
         let n = g.num_tasks();
         let mut pred_base = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
-        for t in g.tasks() {
-            pred_base.push(acc);
-            acc += g.in_degree(t) as u32;
-        }
-        pred_base.push(acc);
-        let num_pred_edges = acc as usize;
+        crate::fastpath::build_pred_base(g, &mut pred_base);
         Ok(FixedEval {
             g,
             num_procs: np,
+            num_channels: topo.num_channels(),
             params: *params,
             comm_enabled: cfg.comm_enabled,
             max_events: cfg.max_events,
             order,
-            proc_off,
-            chan_off,
-            route_procs,
-            route_chans,
+            routes,
             pred_base,
             base_mapping: Vec::new(),
             base_makespan: 0,
             base_ready_at: vec![0; n],
-            base_snaps: Vec::new(),
+            // A run records at most n + 1 epochs; snapshots circulate
+            // between the timeline and the pool, so 2(n + 2) slots keep
+            // both lists from ever reallocating in steady state.
+            base_snaps: Vec::with_capacity(2 * n + 4),
             has_base: false,
             timeline_complete: false,
             epochs_hint: 0,
@@ -499,30 +380,11 @@ impl<'a> FixedEval<'a> {
             cand_resume: 0,
             cand_is_noop: false,
             has_candidate: false,
+            k: KernelState::default(),
             run_mapping: Vec::new(),
-            now: 0,
-            heap: EventHeap::default(),
-            seq: 0,
-            events: 0,
-            epoch_pending: true,
-            procs: (0..np).map(|_| ProcState::default()).collect(),
-            channels: vec![ChanState::default(); topo.num_channels()],
-            msgs: vec![MsgMeta::default(); num_pred_edges],
-            msg_hop: vec![0; num_pred_edges],
-            live: Vec::new(),
-            live_pos: vec![NONE; num_pred_edges],
-            placement: vec![NONE; n],
-            unfinished: vec![0; n],
-            pending: vec![0; n],
-            ready: Vec::new(),
             waiting: vec![Vec::new(); np],
-            finished: 0,
-            max_finish: 0,
             ready_at: vec![0; n],
-            assign_buf: Vec::new(),
-            reg_cache: None,
-            reg_cache_valid: false,
-            snap_pool: Vec::new(),
+            snap_pool: Vec::with_capacity(2 * n + 4),
             evaluations: 0,
         })
     }
@@ -833,492 +695,124 @@ impl<'a> FixedEval<'a> {
 
     /// Resets the scratch state to the empty time-0 engine state.
     fn init_state(&mut self) {
-        self.now = 0;
-        self.heap.clear();
-        self.seq = 0;
-        self.events = 0;
-        self.epoch_pending = true;
-        for pr in &mut self.procs {
-            pr.reset();
+        let num_pred_edges = *self.pred_base.last().expect("pred_base non-empty") as usize;
+        self.k
+            .reset(self.g, self.num_procs, self.num_channels, num_pred_edges);
+        self.ready_at.fill(0);
+        // Worst-case bound: every task can wait on one processor.
+        let n = self.g.num_tasks();
+        for w in &mut self.waiting {
+            w.reserve(n);
         }
-        for ch in &mut self.channels {
-            ch.busy = false;
-            ch.queue.clear();
-        }
-        self.live.clear();
-        self.live_pos.fill(NONE);
-        self.placement.fill(NONE);
-        self.ready.clear();
-        for t in self.g.tasks() {
-            let d = self.g.in_degree(t) as u32;
-            self.unfinished[t.index()] = d;
-            self.pending[t.index()] = 0;
-            self.ready_at[t.index()] = 0;
-            if d == 0 {
-                self.ready.push(t.index() as u32);
-            }
-        }
-        self.finished = 0;
-        self.max_finish = 0;
-        self.reg_cache_valid = false;
         self.rebuild_waiting();
     }
 
-    /// Rebuilds the per-processor waiting lists from `ready` and the
-    /// current run's mapping.
+    /// Rebuilds the per-processor waiting lists from the kernel's ready
+    /// set and the current run's mapping.
     fn rebuild_waiting(&mut self) {
         for w in &mut self.waiting {
             w.clear();
         }
-        for &t in &self.ready {
+        for &t in &self.k.ready {
             self.waiting[self.run_mapping[t as usize].index()].push(t);
         }
     }
 
-    /// Restores the scratch state from baseline snapshot `idx` (state at
+    /// Restores the kernel state from baseline snapshot `idx` (state at
     /// an epoch trigger; the epoch itself re-runs). `with_ready_at`
     /// seeds the scratch ready times from the baseline — only commit
     /// re-runs need that (speculative candidates never read them).
     fn restore(&mut self, idx: usize, with_ready_at: bool) {
         let snap = std::mem::take(&mut self.base_snaps[idx]);
-        self.now = snap.now;
-        self.seq = snap.seq;
-        self.events = snap.events;
-        self.epoch_pending = true;
-        self.heap.clear();
+        let k = &mut self.k;
+        k.now = snap.now;
+        k.seq = snap.seq;
+        k.events = snap.events;
+        k.epoch_pending = true;
+        k.heap.clear();
         for &e in &snap.heap {
-            self.heap.push(e);
+            k.heap.push(e);
         }
-        self.procs.clone_from(&snap.procs);
-        self.channels.clone_from(&snap.channels);
-        self.live.clear();
-        self.live_pos.fill(NONE);
+        let mut off = 0usize;
+        for (i, ps) in snap.procs.iter().enumerate() {
+            let pr = &mut k.procs[i];
+            pr.assigned = ps.assigned;
+            pr.task = ps.task;
+            pr.remaining = ps.remaining;
+            pr.running_since = ps.running_since;
+            pr.cur_oh = ps.cur_oh;
+            pr.done_at = ps.done_at;
+            pr.done_seq = ps.done_seq;
+            pr.incoming.clear();
+            pr.incoming.extend(
+                snap.queue_items[off..off + ps.incoming_len as usize]
+                    .iter()
+                    .copied(),
+            );
+            off += ps.incoming_len as usize;
+            pr.sends.clear();
+            pr.sends.extend(
+                snap.queue_items[off..off + ps.sends_len as usize]
+                    .iter()
+                    .copied(),
+            );
+            off += ps.sends_len as usize;
+        }
+        let mut coff = 0usize;
+        for (i, (&busy, &len)) in snap.chan_busy.iter().zip(&snap.chan_lens).enumerate() {
+            let ch = &mut k.channels[i];
+            ch.busy = busy;
+            ch.queue.clear();
+            ch.queue
+                .extend(snap.chan_items[coff..coff + len as usize].iter().copied());
+            coff += len as usize;
+        }
+        k.live.clear();
+        k.live_pos.fill(NONE);
         for &(id, meta, hop) in &snap.live_msgs {
-            self.msgs[id as usize] = meta;
-            self.msg_hop[id as usize] = hop;
-            self.live_pos[id as usize] = self.live.len() as u32;
-            self.live.push(id);
+            k.msgs[id as usize] = meta;
+            k.msg_hop[id as usize] = hop;
+            k.live_pos[id as usize] = k.live.len() as u32;
+            k.live.push(id);
         }
-        self.placement.clone_from(&snap.placement);
-        self.unfinished.clone_from(&snap.unfinished);
-        self.pending.clone_from(&snap.pending);
-        self.ready.clone_from(&snap.ready);
-        self.finished = snap.finished;
-        self.max_finish = snap.max_finish;
+        k.placement.clone_from(&snap.placement);
+        k.unfinished.clone_from(&snap.unfinished);
+        k.pending.clone_from(&snap.pending);
+        k.ready.clone_from(&snap.ready);
+        k.finished = snap.finished;
+        k.max_finish = snap.max_finish;
+        k.reg_cache_valid = false;
         if with_ready_at {
             self.ready_at.clone_from(&self.base_ready_at);
         }
         self.base_snaps[idx] = snap;
-        self.reg_cache_valid = false;
         // Derived state: depends on the mapping, which the caller set
         // (`run_mapping`) before restoring.
         self.rebuild_waiting();
     }
 
-    /// Records the current scratch state as a snapshot into the given
-    /// timeline.
-    fn snap_record(&mut self) {
-        let mut s = self.snap_pool.pop().unwrap_or_default();
-        s.now = self.now;
-        s.seq = self.seq;
-        s.events = self.events;
-        s.heap.clear();
-        s.heap.extend(self.heap.iter().copied());
-        s.procs.clone_from(&self.procs);
-        s.channels.clone_from(&self.channels);
-        s.live_msgs.clear();
-        s.live_msgs.extend(
-            self.live
-                .iter()
-                .map(|&id| (id, self.msgs[id as usize], self.msg_hop[id as usize])),
-        );
-        s.placement.clone_from(&self.placement);
-        s.unfinished.clone_from(&self.unfinished);
-        s.pending.clone_from(&self.pending);
-        s.ready.clone_from(&self.ready);
-        s.finished = self.finished;
-        s.max_finish = self.max_finish;
-        self.base_snaps.push(s);
-    }
-
-    /// The main event loop; a transliteration of `Engine::run` for the
-    /// fixed-mapping scheduler. With `record`, the baseline timeline
-    /// captures a snapshot at every scheduling epoch.
+    /// Runs the kernel with the fixed-mapping driver. With `record`,
+    /// the baseline timeline captures a snapshot at every scheduling
+    /// epoch.
     fn run(&mut self, record: bool) -> Result<SimTime, SimError> {
-        loop {
-            let reg = self.min_register();
-            if self.epoch_pending {
-                let heap_next = self.heap.peek_time();
-                let next = match (heap_next, reg) {
-                    (Some(h), Some((r, _, _))) => Some(h.min(r)),
-                    (h, r) => h.or(r.map(|(t, _, _)| t)),
-                };
-                if next.is_none_or(|t| t > self.now) {
-                    self.epoch_pending = false;
-                    if record {
-                        self.snap_record();
-                    }
-                    self.run_epoch();
-                    if record {
-                        let snap = self.base_snaps.last_mut().expect("just recorded");
-                        snap.decisions.clear();
-                        snap.decisions.extend_from_slice(&self.assign_buf);
-                    }
-                    continue;
-                }
-            }
-            // Pop the global (time, seq) minimum across the event heap
-            // and the completion registers — exactly the order one
-            // merged heap would produce.
-            let use_reg = match (self.heap.peek(), reg) {
-                (Some(&(ht, hr)), Some((rt, rs, _))) => (rt, rs) < (ht, hr >> 32),
-                (None, Some(_)) => true,
-                _ => false,
-            };
-            let (time, rest) = if use_reg {
-                let (rt, _, rp) = reg.expect("register selected");
-                self.procs[rp as usize].done_at = NOT_RUNNING;
-                self.reg_cache_valid = false;
-                (rt, None)
-            } else {
-                match self.heap.pop() {
-                    Some((t, r)) => (t, Some(r)),
-                    None => break,
-                }
-            };
-            self.events += 1;
-            if self.events > self.max_events {
-                return Err(SimError::EventLimit);
-            }
-            debug_assert!(time >= self.now, "time went backwards");
-            self.now = time;
-            match rest {
-                None => {
-                    let (_, _, rp) = reg.expect("register selected");
-                    self.on_task_done(rp);
-                }
-                Some(rest) => {
-                    let arg = (rest & ARG_MASK) as u32;
-                    if (rest >> 30) & 0b11 == KIND_OVERHEAD_DONE {
-                        self.on_overhead_done(arg);
-                    } else {
-                        self.on_transfer_done(arg);
-                    }
-                }
-            }
-        }
-        if (self.finished as usize) < self.g.num_tasks() {
-            let idle = self.procs.iter().filter(|p| p.assigned == NONE).count();
-            return Err(SimError::Deadlock {
-                time: self.now,
-                ready: self.ready.len(),
-                idle,
-            });
-        }
-        Ok(self.max_finish)
-    }
-
-    #[inline]
-    fn push_ev(&mut self, time: SimTime, kind: u64, arg: u32) {
-        self.heap.push((time, pack(self.seq, kind, arg)));
-        self.seq += 1;
-    }
-
-    /// Dispatch epoch: every idle processor takes its waiting ready task
-    /// with the lowest `(order, id)` — `FixedMapping::on_epoch`. Tasks
-    /// waiting per processor are disjoint, so scanning each idle
-    /// processor's own waiting list reproduces the engine's decisions
-    /// exactly without touching the full ready set.
-    fn run_epoch(&mut self) {
-        let mut buf = std::mem::take(&mut self.assign_buf);
-        buf.clear();
-        if self.ready.is_empty() {
-            self.assign_buf = buf;
-            return;
-        }
-        for p in 0..self.num_procs {
-            if self.procs[p].assigned != NONE {
-                continue;
-            }
-            let mut best: Option<u32> = None;
-            for &t in &self.waiting[p] {
-                let better = match best {
-                    None => true,
-                    Some(b) => (self.order[t as usize], t) < (self.order[b as usize], b),
-                };
-                if better {
-                    best = Some(t);
-                }
-            }
-            if let Some(t) = best {
-                buf.push((t, p as u32));
-            }
-        }
-        for &(t, p) in &buf {
-            self.assign(t, p);
-        }
-        self.assign_buf = buf;
-    }
-
-    fn assign(&mut self, t: u32, q: u32) {
-        self.placement[t as usize] = q;
-        self.procs[q as usize].assigned = t;
-        let pos = self.ready.binary_search(&t).expect("task was ready");
-        self.ready.remove(pos);
-        let w = &mut self.waiting[q as usize];
-        let wpos = w.iter().position(|&x| x == t).expect("task was waiting");
-        w.swap_remove(wpos);
-
-        let g = self.g;
-        let tid = TaskId::from_index(t as usize);
-        let mut pending = 0u32;
-        if self.comm_enabled {
-            let sigma = self.params.sigma;
-            for (k, e) in g.predecessors(tid).iter().enumerate() {
-                let src = self.placement[e.target.index()];
-                debug_assert!(src != NONE, "predecessor finished");
-                if src == q {
-                    continue;
-                }
-                let msg_id = self.pred_base[t as usize] + k as u32;
-                self.msgs[msg_id as usize] = MsgMeta {
-                    dest_task: t,
-                    src,
-                    dest: q,
-                    weight: link_occupancy_time(&self.params, e.weight),
-                };
-                self.msg_hop[msg_id as usize] = 0;
-                debug_assert_eq!(self.live_pos[msg_id as usize], NONE);
-                self.live_pos[msg_id as usize] = self.live.len() as u32;
-                self.live.push(msg_id);
-                pending += 1;
-                self.enqueue_overhead(
-                    src,
-                    Oh {
-                        kind: OhKind::Send,
-                        dur: sigma,
-                        msg: msg_id,
-                    },
-                );
-            }
-        }
-        self.pending[t as usize] = pending;
-        if pending == 0 {
-            let pr = &mut self.procs[q as usize];
-            debug_assert_eq!(pr.task, NONE);
-            pr.task = t;
-            pr.remaining = g.load(tid);
-            pr.running_since = NOT_RUNNING;
-            self.pump(q);
-        }
-    }
-
-    fn enqueue_overhead(&mut self, p: u32, oh: Oh) {
-        let pr = &mut self.procs[p as usize];
-        match oh.kind {
-            OhKind::Send => pr.sends.push_back(oh),
-            _ => pr.incoming.push_back(oh),
-        }
-        self.pump(p);
-    }
-
-    /// Keeps processor `p` busy with the right thing (`Engine::pump`):
-    /// pending overheads preempt compute; otherwise compute (re)starts.
-    fn pump(&mut self, p: u32) {
-        let now = self.now;
-        let pr = &mut self.procs[p as usize];
-        if pr.cur_oh.is_some() {
-            return;
-        }
-        let next = pr.incoming.pop_front().or_else(|| pr.sends.pop_front());
-        if let Some(oh) = next {
-            if pr.task != NONE && pr.running_since != NOT_RUNNING {
-                let done = now - pr.running_since;
-                pr.remaining -= done;
-                pr.running_since = NOT_RUNNING;
-                pr.done_at = NOT_RUNNING; // disarm the completion register
-                self.disarm_cache(p);
-            }
-            let pr = &mut self.procs[p as usize];
-            pr.cur_oh = Some(oh);
-            let at = now + oh.dur;
-            self.push_ev(at, KIND_OVERHEAD_DONE, p);
-            return;
-        }
-        if pr.task != NONE && pr.running_since == NOT_RUNNING {
-            pr.running_since = now;
-            let at = now + pr.remaining;
-            let seq = self.seq;
-            self.seq += 1;
-            let pr = &mut self.procs[p as usize];
-            pr.done_at = at;
-            pr.done_seq = seq;
-            self.arm_cache(at, seq, p);
-        }
-    }
-
-    /// Cache maintenance: a newly armed register can only tighten the
-    /// cached minimum.
-    #[inline]
-    fn arm_cache(&mut self, at: SimTime, seq: u64, p: u32) {
-        if self.reg_cache_valid {
-            if let Some((ct, cs, _)) = self.reg_cache {
-                if (at, seq) < (ct, cs) {
-                    self.reg_cache = Some((at, seq, p));
-                }
-            } else {
-                self.reg_cache = Some((at, seq, p));
-            }
-        }
-    }
-
-    /// Cache maintenance: disarming the cached processor invalidates
-    /// the cache (any other processor leaves the minimum intact).
-    #[inline]
-    fn disarm_cache(&mut self, p: u32) {
-        if self.reg_cache_valid && matches!(self.reg_cache, Some((_, _, cp)) if cp == p) {
-            self.reg_cache_valid = false;
-        }
-    }
-
-    /// The minimum completion register as `(time, seq, proc)`.
-    #[inline]
-    fn min_register(&mut self) -> Option<(SimTime, u64, u32)> {
-        if !self.reg_cache_valid {
-            let mut min: Option<(SimTime, u64, u32)> = None;
-            for (i, pr) in self.procs.iter().enumerate() {
-                if pr.done_at != NOT_RUNNING
-                    && min.is_none_or(|(t, s, _)| (pr.done_at, pr.done_seq) < (t, s))
-                {
-                    min = Some((pr.done_at, pr.done_seq, i as u32));
-                }
-            }
-            self.reg_cache = min;
-            self.reg_cache_valid = true;
-        }
-        self.reg_cache
-    }
-
-    #[inline]
-    fn hop_proc(&self, src: u32, dst: u32, hop: usize) -> u32 {
-        let pair = src as usize * self.num_procs + dst as usize;
-        self.route_procs[self.proc_off[pair] as usize + hop]
-    }
-
-    #[inline]
-    fn hop_chan(&self, src: u32, dst: u32, hop: usize) -> u32 {
-        let pair = src as usize * self.num_procs + dst as usize;
-        self.route_chans[self.chan_off[pair] as usize + hop]
-    }
-
-    fn channel_push(&mut self, msg_id: u32) {
-        let m = self.msgs[msg_id as usize];
-        let hop = self.msg_hop[msg_id as usize] as usize;
-        let ch = self.hop_chan(m.src, m.dest, hop) as usize;
-        if self.channels[ch].busy {
-            self.channels[ch].queue.push_back(msg_id);
-        } else {
-            self.channels[ch].busy = true;
-            let at = self.now + m.weight;
-            self.push_ev(at, KIND_TRANSFER_DONE, msg_id);
-        }
-    }
-
-    fn on_transfer_done(&mut self, msg_id: u32) {
-        // Free the channel and start the next queued transfer.
-        let m = self.msgs[msg_id as usize];
-        let hop = self.msg_hop[msg_id as usize] as usize;
-        let ch = self.hop_chan(m.src, m.dest, hop) as usize;
-        self.channels[ch].busy = false;
-        if let Some(next) = self.channels[ch].queue.pop_front() {
-            self.channels[ch].busy = true;
-            let at = self.now + self.msgs[next as usize].weight;
-            self.push_ev(at, KIND_TRANSFER_DONE, next);
-        }
-        // Advance the message.
-        self.msg_hop[msg_id as usize] += 1;
-        let v = self.hop_proc(m.src, m.dest, hop + 1);
-        let tau = self.params.tau;
-        let kind = if v == m.dest {
-            OhKind::Receive
-        } else {
-            OhKind::Route
+        let ctx = KernelCtx {
+            g: self.g,
+            params: &self.params,
+            comm_enabled: self.comm_enabled,
+            max_events: self.max_events,
+            routes: &self.routes,
+            pred_base: &self.pred_base,
         };
-        self.enqueue_overhead(
-            v,
-            Oh {
-                kind,
-                dur: tau,
-                msg: msg_id,
-            },
-        );
-    }
-
-    fn on_overhead_done(&mut self, p: u32) {
-        let oh = self.procs[p as usize]
-            .cur_oh
-            .take()
-            .expect("overhead timer fired without current overhead");
-        match oh.kind {
-            OhKind::Send | OhKind::Route => self.channel_push(oh.msg),
-            OhKind::Receive => self.deliver(oh.msg),
-        }
-        self.pump(p);
-    }
-
-    fn deliver(&mut self, msg_id: u32) {
-        // The message is done: drop it from the live set.
-        let pos = self.live_pos[msg_id as usize] as usize;
-        debug_assert_eq!(self.live[pos], msg_id);
-        self.live.swap_remove(pos);
-        self.live_pos[msg_id as usize] = NONE;
-        if let Some(&moved) = self.live.get(pos) {
-            self.live_pos[moved as usize] = pos as u32;
-        }
-        let t = self.msgs[msg_id as usize].dest_task;
-        let c = &mut self.pending[t as usize];
-        debug_assert!(*c > 0);
-        *c -= 1;
-        if *c == 0 {
-            let q = self.placement[t as usize];
-            let load = self.g.load(TaskId::from_index(t as usize));
-            let pr = &mut self.procs[q as usize];
-            debug_assert_eq!(pr.task, NONE);
-            pr.task = t;
-            pr.remaining = load;
-            pr.running_since = NOT_RUNNING;
-            self.pump(q);
-        }
-    }
-
-    /// Fires when a completion register is popped; never stale (a
-    /// preemption disarms the register instead).
-    fn on_task_done(&mut self, p: u32) {
-        let pr = &mut self.procs[p as usize];
-        let t = pr.task;
-        debug_assert!(t != NONE && pr.running_since != NOT_RUNNING);
-        pr.task = NONE;
-        pr.remaining = 0;
-        pr.running_since = NOT_RUNNING;
-        pr.assigned = NONE;
-        if self.now > self.max_finish {
-            self.max_finish = self.now;
-        }
-        self.finished += 1;
-        let now = self.now;
-        for e in self.g.successors(TaskId::from_index(t as usize)) {
-            let c = &mut self.unfinished[e.target.index()];
-            *c -= 1;
-            if *c == 0 {
-                let tid = e.target.index() as u32;
-                let pos = self.ready.partition_point(|&x| x < tid);
-                self.ready.insert(pos, tid);
-                self.waiting[self.run_mapping[tid as usize].index()].push(tid);
-                self.ready_at[e.target.index()] = now;
-            }
-        }
-        self.epoch_pending = true;
-        self.pump(p);
+        let mut driver = FixedDriver {
+            order: &self.order,
+            mapping: &self.run_mapping,
+            waiting: &mut self.waiting,
+            ready_at: &mut self.ready_at,
+            record,
+            base_snaps: &mut self.base_snaps,
+            snap_pool: &mut self.snap_pool,
+        };
+        self.k.run(&ctx, &mut driver)
     }
 }
 
@@ -1480,6 +974,8 @@ mod tests {
     fn steady_state_move_evaluation_is_allocation_free_of_results() {
         // Smoke for buffer reuse: thousands of evaluations on one
         // evaluator must agree with the engine at the end of the chain.
+        // (tests/alloc.rs pins the actual zero-allocation property with
+        // a counting allocator.)
         let g = sample_graph(13);
         let n = g.num_tasks();
         let topo = ring(5);

@@ -31,12 +31,14 @@
 
 pub mod engine;
 pub mod eval;
+pub mod fastpath;
 pub mod gantt;
 pub mod result;
 pub mod scheduler;
 
 pub use engine::{simulate, SimConfig, SimError};
 pub use eval::FixedEval;
+pub use fastpath::{simulate_makespan, SimScratch};
 pub use gantt::{Gantt, Span, SpanKind};
 pub use result::{CommStats, PacketStats, SimResult};
 pub use scheduler::{EpochContext, FixedMapping, GreedyScheduler, OnlineScheduler};

@@ -5,12 +5,14 @@ use anneal_graph::critical_path::critical_path_length;
 use anneal_graph::generate::{gnp_dag, layered_random, LayeredConfig, Range};
 use anneal_graph::units::us;
 use anneal_graph::TaskGraph;
-use anneal_sim::{simulate, GreedyScheduler, SimConfig};
+use anneal_sim::{
+    simulate, simulate_makespan, FixedMapping, GreedyScheduler, SimConfig, SimScratch,
+};
 use anneal_topology::builders::*;
-use anneal_topology::{CommParams, Topology};
+use anneal_topology::{CommParams, ProcId, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn arb_graph() -> impl Strategy<Value = TaskGraph> {
     (any::<u64>(), 1usize..30, 0.0f64..0.9, prop::bool::ANY).prop_map(|(seed, n, p, layered)| {
@@ -121,5 +123,48 @@ proptest! {
                 prop_assert!(r.start[b.index()] >= r.finish[a.index()] + CommParams::paper().sigma);
             }
         }
+    }
+
+    /// The fast path ([`simulate_makespan`]) is bit-identical to the
+    /// general engine for a stateless online scheduler, with one
+    /// scratch reused across every case (graphs and topologies of
+    /// wildly different shapes — exactly how the arena workers use it).
+    #[test]
+    fn fast_path_matches_engine_greedy(g in arb_graph(), topo in arb_topology(), comm in prop::bool::ANY) {
+        let params = if comm { CommParams::paper() } else { CommParams::zero() };
+        let cfg = SimConfig { comm_enabled: comm, ..SimConfig::default() };
+        let slow = simulate(&g, &topo, &params, &mut GreedyScheduler, &cfg).unwrap().makespan;
+        let mut scratch = SimScratch::new();
+        let fast = simulate_makespan(&g, &topo, &params, &mut GreedyScheduler, &cfg, &mut scratch).unwrap();
+        prop_assert_eq!(fast, slow);
+        // Re-running on the now-warm scratch changes nothing.
+        let again = simulate_makespan(&g, &topo, &params, &mut GreedyScheduler, &cfg, &mut scratch).unwrap();
+        prop_assert_eq!(again, slow);
+    }
+
+    /// Fast path vs engine on random fixed mappings with random
+    /// dispatch orders — the preemption- and contention-heavy case the
+    /// incremental evaluator also exercises, but through the public
+    /// online-scheduler surface.
+    #[test]
+    fn fast_path_matches_engine_fixed_mapping(g in arb_graph(), topo in arb_topology(), seed in any::<u64>()) {
+        let np = topo.num_procs();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping: Vec<ProcId> = (0..g.num_tasks()).map(|_| ProcId::from_index(rng.gen_range(0..np))).collect();
+        let order: Vec<u64> = (0..g.num_tasks()).map(|_| rng.gen_range(0..8)).collect();
+        let params = CommParams::paper();
+        let cfg = SimConfig { comm_enabled: true, ..SimConfig::default() };
+        let slow = simulate(
+            &g, &topo, &params,
+            &mut FixedMapping::new(mapping.clone()).with_order(order.clone()),
+            &cfg,
+        ).unwrap().makespan;
+        let mut scratch = SimScratch::new();
+        let fast = simulate_makespan(
+            &g, &topo, &params,
+            &mut FixedMapping::new(mapping).with_order(order),
+            &cfg, &mut scratch,
+        ).unwrap();
+        prop_assert_eq!(fast, slow);
     }
 }
