@@ -40,7 +40,7 @@
 //! `anneal-core`'s shared evaluator layer, and the `--evaluator`
 //! toggle cannot change a ratio (only how fast it is computed).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use anneal_core::boltzmann::{accept, AcceptanceRule};
 use anneal_core::cooling::CoolingSchedule;
@@ -142,6 +142,7 @@ pub fn makespan_ratio(
 /// # Panics
 ///
 /// Panics when `target` is not in the portfolio or is its only entry.
+// lint:allow(panic) reason="callers pass a portfolio member as target, with at least one rival; jobs >= 2"
 pub fn makespan_ratio_pooled(
     portfolio: &Portfolio,
     target: &str,
@@ -238,7 +239,7 @@ pub fn adversarial_search(
     // its breakdown — sound because topology, parameters, engine
     // config, portfolio and per-entry seeds are all fixed per search.
     let pool: ScratchPool<SimScratch> = ScratchPool::new();
-    let mut memo: HashMap<String, RatioBreakdown> = HashMap::new();
+    let mut memo: BTreeMap<String, RatioBreakdown> = BTreeMap::new();
     let mut eval = |graph: TaskGraph| -> Result<(TaskGraph, RatioBreakdown), SimError> {
         let key = textio::to_text(&graph);
         if let Some(b) = memo.get(&key) {

@@ -63,6 +63,7 @@ pub struct TournamentResult {
 impl TournamentResult {
     /// The winning row on instance `j` and its makespan; ties break
     /// toward the earlier portfolio entry.
+    // lint:allow(panic) reason="tournaments are built from non-empty portfolios"
     pub fn best_for_instance(&self, j: usize) -> (usize, u64) {
         self.makespans
             .iter()

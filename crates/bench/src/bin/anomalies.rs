@@ -33,15 +33,15 @@ fn main() {
         let topo = bus(procs);
         let mut fifo = ListScheduler::new(PriorityPolicy::Fifo);
         let m_fifo = simulate(&g, &topo, &CommParams::zero(), &mut fifo, &cfg)
-            .unwrap()
+            .unwrap_or_else(|e| panic!("scenario '{name}': FIFO list run failed: {e}"))
             .makespan;
         let mut hlf = HlfScheduler::new();
         let m_hlf = simulate(&g, &topo, &CommParams::zero(), &mut hlf, &cfg)
-            .unwrap()
+            .unwrap_or_else(|e| panic!("scenario '{name}': HLF run failed: {e}"))
             .makespan;
         let mut sa = SaScheduler::new(SaConfig::default());
         let m_sa = simulate(&g, &topo, &CommParams::zero(), &mut sa, &cfg)
-            .unwrap()
+            .unwrap_or_else(|e| panic!("scenario '{name}': SA run failed: {e}"))
             .makespan;
         let opt = optimal_makespan(&g, procs, 50_000_000);
         table.row(vec![

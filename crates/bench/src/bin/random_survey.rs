@@ -17,8 +17,18 @@ use anneal_workloads::random::Population;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let count: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
-    let procs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let parse_arg = |idx: usize, name: &str, default: usize| -> usize {
+        match args.get(idx) {
+            None => default,
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("random_survey: {name} must be a positive integer, got '{s}'");
+                eprintln!("usage: random_survey [count] [procs]");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let count: usize = parse_arg(1, "count", 100);
+    let procs: usize = parse_arg(2, "procs", 3);
     let pop = Population::survey_small(2024, count);
     let topo = bus(procs);
     let cfg = SimConfig {
@@ -46,11 +56,11 @@ fn main() {
         }
         let mut hlf = HlfScheduler::new();
         let mh = simulate(&g, &topo, &CommParams::zero(), &mut hlf, &cfg)
-            .unwrap()
+            .unwrap_or_else(|e| panic!("instance {i}: HLF run failed: {e}"))
             .makespan;
         let mut sa = SaScheduler::new(SaConfig::default().with_seed(i as u64));
         let ms = simulate(&g, &topo, &CommParams::zero(), &mut sa, &cfg)
-            .unwrap()
+            .unwrap_or_else(|e| panic!("instance {i}: SA run failed: {e}"))
             .makespan;
         let rh = mh as f64 / opt.value() as f64;
         let rs = ms as f64 / opt.value() as f64;
@@ -104,6 +114,7 @@ fn main() {
     print!("{}", table.render());
 
     let path = anneal_bench::results_dir().join("random_survey.csv");
-    csv.write_to(&path).expect("write csv");
+    csv.write_to(&path)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     println!("wrote {}", path.display());
 }

@@ -22,6 +22,8 @@
 //! This library holds the shared experiment runners so the binaries and
 //! the Criterion benches stay thin.
 
+#![forbid(unsafe_code)]
+
 use anneal_core::{HlfScheduler, SaConfig, SaScheduler};
 use anneal_graph::TaskGraph;
 use anneal_sim::{simulate, SimConfig, SimResult};
@@ -68,12 +70,14 @@ impl CommMode {
 }
 
 /// Runs the deterministic HLF baseline.
+// lint:allow(panic) reason="bench harness entry point: a failed simulation should abort the experiment"
 pub fn run_hlf(g: &TaskGraph, topo: &Topology, mode: CommMode) -> SimResult {
     let mut s = HlfScheduler::new();
     simulate(g, topo, &mode.params(), &mut s, &mode.sim_config()).expect("HLF run failed")
 }
 
 /// Runs SA once with an explicit configuration.
+// lint:allow(panic) reason="bench harness entry point: a failed simulation should abort the experiment"
 pub fn run_sa(g: &TaskGraph, topo: &Topology, mode: CommMode, cfg: SaConfig) -> SimResult {
     let mut s = SaScheduler::new(cfg);
     simulate(g, topo, &mode.params(), &mut s, &mode.sim_config()).expect("SA run failed")
@@ -115,6 +119,7 @@ pub fn run_sa_tuned(
             best = Some((r, cfg));
         }
     }
+    // lint:allow(panic) reason="the tuning grid is a non-empty constant"
     best.expect("non-empty grid")
 }
 

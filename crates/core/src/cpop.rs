@@ -42,6 +42,7 @@ impl CpopScheduler {
     }
 }
 
+// lint:allow(panic) reason="topologies have at least one processor"
 fn init_state(ctx: &EpochContext<'_>) -> CpopState {
     let tl = top_levels_with_comm(ctx.graph);
     let bl = bottom_levels_with_comm(ctx.graph);
@@ -70,6 +71,7 @@ fn init_state(ctx: &EpochContext<'_>) -> CpopState {
 }
 
 impl OnlineScheduler for CpopScheduler {
+    // lint:allow(panic) reason="the loop breaks before `free` can be empty"
     fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
         let state = self.state.get_or_insert_with(|| init_state(ctx));
         let mut ranked: Vec<TaskId> = ctx.ready.to_vec();

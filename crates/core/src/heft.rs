@@ -37,6 +37,7 @@ impl HeftScheduler {
 
 /// Estimated finish time of `t` on `q` at the current epoch: data-ready
 /// time under eq. 4 (clamped to "now"), plus the task's load.
+// lint:allow(panic) reason="t is ready, so every predecessor is placed and finished"
 pub(crate) fn estimated_finish(ctx: &EpochContext<'_>, t: TaskId, q: ProcId) -> u64 {
     let ready = ctx
         .graph
@@ -56,6 +57,7 @@ pub(crate) fn estimated_finish(ctx: &EpochContext<'_>, t: TaskId, q: ProcId) -> 
 }
 
 impl OnlineScheduler for HeftScheduler {
+    // lint:allow(panic) reason="the loop breaks before `free` can be empty"
     fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
         let ranks = self
             .ranks

@@ -50,6 +50,7 @@
 //!   CPOP-style critical-path-on-one-processor heuristics, adapted to
 //!   the eq. 4 communication model (portfolio rivals for `anneal-arena`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

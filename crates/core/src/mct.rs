@@ -30,6 +30,7 @@ impl MctScheduler {
 }
 
 impl OnlineScheduler for MctScheduler {
+    // lint:allow(panic) reason="ready tasks have placed predecessors; the loop breaks before `free` is empty"
     fn on_epoch(&mut self, ctx: &EpochContext<'_>, out: &mut Vec<(TaskId, ProcId)>) {
         let levels = self.levels.get_or_insert_with(|| bottom_levels(ctx.graph));
         let mut ranked: Vec<TaskId> = ctx.ready.to_vec();

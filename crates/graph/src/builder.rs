@@ -1,6 +1,6 @@
 //! Incremental construction of [`TaskGraph`]s.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::dag::{Edge, TaskGraph};
 use crate::error::GraphError;
@@ -18,7 +18,7 @@ pub struct TaskGraphBuilder {
     loads: Vec<Work>,
     names: Vec<String>,
     edges: Vec<(TaskId, TaskId, Work)>,
-    seen: HashSet<(u32, u32)>,
+    seen: BTreeSet<(u32, u32)>,
 }
 
 impl TaskGraphBuilder {
@@ -33,7 +33,7 @@ impl TaskGraphBuilder {
             loads: Vec::with_capacity(tasks),
             names: Vec::with_capacity(tasks),
             edges: Vec::with_capacity(edges),
-            seen: HashSet::with_capacity(edges),
+            seen: BTreeSet::new(),
         }
     }
 
@@ -96,6 +96,7 @@ impl TaskGraphBuilder {
             Err(GraphError::DuplicateEdge(..)) => {
                 // Linear scan is fine: merging is a construction-time
                 // convenience, never on a hot path.
+                // lint:allow(panic) reason="guarded by the DuplicateEdge arm: the edge is present"
                 let e = self
                     .edges
                     .iter_mut()
@@ -187,6 +188,7 @@ impl TaskGraphBuilder {
         }
         if topo.len() != n {
             // Some task is on a cycle: any with nonzero in-degree left.
+            // lint:allow(panic) reason="topo.len() != n means a cycle, so some in-degree stays positive"
             let culprit = indeg
                 .iter()
                 .position(|&d| d > 0)

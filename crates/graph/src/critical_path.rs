@@ -36,6 +36,7 @@ pub fn critical_path(g: &TaskGraph) -> Vec<TaskId> {
             break;
         }
         // Successor slices are sorted by id, so `find` picks smallest id.
+        // lint:allow(panic) reason="bottom-level accounting guarantees a successor with bl == need"
         let next = g
             .successors(cur)
             .iter()

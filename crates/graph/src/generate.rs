@@ -75,6 +75,7 @@ impl Default for LayeredConfig {
 /// edges only between consecutive layers, each drawn with probability
 /// `edge_prob`. Every non-first-layer task is guaranteed at least one
 /// predecessor (drawn uniformly) so the layer structure is respected.
+// lint:allow(panic) reason="layer edges go strictly forward; the builder cannot fail"
 pub fn layered_random<R: Rng + ?Sized>(cfg: &LayeredConfig, rng: &mut R) -> TaskGraph {
     assert!(cfg.layers >= 1 && cfg.width >= 1);
     let mut b = TaskGraphBuilder::with_capacity(
@@ -109,6 +110,7 @@ pub fn layered_random<R: Rng + ?Sized>(cfg: &LayeredConfig, rng: &mut R) -> Task
 /// An Erdős–Rényi-style random DAG on `n` tasks: each pair `(i, j)` with
 /// `i < j` receives an edge with probability `p` (orientation low → high
 /// id guarantees acyclicity).
+// lint:allow(panic) reason="edges are oriented low id -> high id, so the DAG check cannot fail"
 pub fn gnp_dag<R: Rng + ?Sized>(
     n: usize,
     p: f64,
@@ -131,6 +133,7 @@ pub fn gnp_dag<R: Rng + ?Sized>(
 
 /// A fork-join graph: one fork task, `width` parallel body tasks, one
 /// join task.
+// lint:allow(panic) reason="fork -> body -> join edges are forward and unique"
 pub fn fork_join<R: Rng + ?Sized>(
     width: usize,
     load: Range,
@@ -151,6 +154,7 @@ pub fn fork_join<R: Rng + ?Sized>(
 }
 
 /// A linear chain of `n` tasks.
+// lint:allow(panic) reason="consecutive-id chain edges are forward and unique"
 pub fn chain<R: Rng + ?Sized>(n: usize, load: Range, comm: Range, rng: &mut R) -> TaskGraph {
     assert!(n >= 1);
     let mut b = TaskGraphBuilder::with_capacity(n, n);
@@ -163,6 +167,7 @@ pub fn chain<R: Rng + ?Sized>(n: usize, load: Range, comm: Range, rng: &mut R) -
 
 /// `n` fully independent tasks (no edges): the pure load-balancing case
 /// (the "balancing problem" of Hwang & Xu that the paper generalizes).
+// lint:allow(panic) reason="an edgeless graph always builds"
 pub fn independent<R: Rng + ?Sized>(n: usize, load: Range, rng: &mut R) -> TaskGraph {
     assert!(n >= 1);
     let mut b = TaskGraphBuilder::with_capacity(n, 0);
@@ -175,6 +180,7 @@ pub fn independent<R: Rng + ?Sized>(n: usize, load: Range, rng: &mut R) -> TaskG
 /// A random series-parallel graph built by `ops` random series/parallel
 /// compositions starting from single edges. Series-parallel DAGs are a
 /// common model of structured parallel programs.
+// lint:allow(panic) reason="SP composition only adds edges from earlier to later tasks"
 pub fn series_parallel<R: Rng + ?Sized>(
     ops: usize,
     load: Range,

@@ -36,6 +36,7 @@
 //! assert_eq!(g.total_work(), us(6.0));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

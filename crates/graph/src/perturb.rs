@@ -39,7 +39,7 @@
 //! assert_eq!(mutated.num_tasks(), g.num_tasks());
 //! ```
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::Rng;
 
@@ -65,7 +65,7 @@ pub struct DagEdit {
     order: Vec<TaskId>,
     /// Every edge satisfies `pos[from] < pos[to]`.
     edges: Vec<(TaskId, TaskId, Work)>,
-    edge_set: HashSet<(u32, u32)>,
+    edge_set: BTreeSet<(u32, u32)>,
 }
 
 impl DagEdit {
@@ -102,6 +102,7 @@ impl DagEdit {
     /// Freezes the edit back into a [`TaskGraph`]. Infallible: the
     /// pinned extension guarantees acyclicity and the task set is
     /// non-empty by construction.
+    // lint:allow(panic) reason="the pinned linear extension keeps edges forward, unique and acyclic"
     pub fn build(&self) -> TaskGraph {
         let mut b = TaskGraphBuilder::with_capacity(self.loads.len(), self.edges.len());
         for (load, name) in self.loads.iter().zip(&self.names) {

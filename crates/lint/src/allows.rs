@@ -1,0 +1,189 @@
+//! The structured `lint:allow` escape hatch.
+//!
+//! Grammar (inside a `//` line comment):
+//!
+//! ```text
+//! // lint:allow(<pass>[, <pass>…]) reason="<non-empty text>"
+//! ```
+//!
+//! Scope rules:
+//!
+//! * **Trailing** — on the same line as code: suppresses findings on
+//!   that line only.
+//! * **Preceding** — on its own line: suppresses findings in the item
+//!   or statement that starts immediately below, including its entire
+//!   braced body (so one allow above a `fn` covers the whole fn).
+//!
+//! Every allow must carry a non-empty `reason`. Unknown pass names,
+//! missing reasons, and allows that suppress nothing are themselves
+//! diagnostics — stale escapes are not allowed to accumulate.
+
+use crate::diag::{Diagnostic, Pass};
+use crate::lexer::{Comment, Tok};
+
+/// A parsed `lint:allow` with its computed suppression span.
+#[derive(Debug)]
+pub struct Allow {
+    pub passes: Vec<Pass>,
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Inclusive line span this allow suppresses.
+    pub from: u32,
+    pub to: u32,
+    /// How many findings each pass entry suppressed (parallel to
+    /// `passes`).
+    pub used: Vec<u32>,
+}
+
+/// Parses all `lint:allow` comments in a file and computes their
+/// spans. Malformed allows become diagnostics immediately.
+pub fn collect(file: &str, comments: &[Comment], toks: &[Tok]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        // Only a plain `//` comment (not doc comments, which merely
+        // *talk about* the syntax) whose body *starts* with the
+        // directive counts as an allow.
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(body) = c.text.strip_prefix("//") else {
+            continue;
+        };
+        let body = body.trim_start();
+        if !body.starts_with("lint:allow") {
+            continue;
+        }
+        match parse_allow(body) {
+            Ok((passes, reason)) => {
+                let (from, to) = span_for(c.line, toks);
+                let used = vec![0; passes.len()];
+                allows.push(Allow {
+                    passes,
+                    reason,
+                    line: c.line,
+                    from,
+                    to,
+                    used,
+                });
+            }
+            Err(msg) => diags.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                pass: Pass::Allow,
+                msg,
+            }),
+        }
+    }
+    (allows, diags)
+}
+
+/// Parses `lint:allow(p1, p2) reason="…"` starting at `lint:allow`.
+fn parse_allow(s: &str) -> Result<(Vec<Pass>, String), String> {
+    let rest = s.strip_prefix("lint:allow").unwrap_or(s).trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("malformed lint:allow: expected '(' after lint:allow".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("malformed lint:allow: missing ')'".into());
+    };
+    let mut passes = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        match Pass::from_allow_name(name) {
+            Some(p) => passes.push(p),
+            None => {
+                return Err(format!(
+                    "lint:allow names unknown pass `{name}` \
+                     (expected nondeterminism, panic, unsafe, or oracle)"
+                ));
+            }
+        }
+    }
+    if passes.is_empty() {
+        return Err("lint:allow lists no passes".into());
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(tail) = tail.strip_prefix("reason=\"") else {
+        return Err("lint:allow is missing reason=\"…\" (a justification is required)".into());
+    };
+    let Some(end) = tail.find('"') else {
+        return Err("lint:allow reason is missing its closing quote".into());
+    };
+    let reason = tail[..end].trim();
+    if reason.is_empty() {
+        return Err("lint:allow reason must not be empty".into());
+    }
+    Ok((passes, reason.to_string()))
+}
+
+/// Computes the inclusive line span an allow on `comment_line` covers.
+///
+/// Trailing (code on the same line): that line only. Preceding: from
+/// the comment to the end of the next item or statement — the first
+/// `;` at the item's base depth, or the `}` matching the first `{`
+/// opened at the base depth.
+fn span_for(comment_line: u32, toks: &[Tok]) -> (u32, u32) {
+    if toks.iter().any(|t| t.line == comment_line) {
+        return (comment_line, comment_line);
+    }
+    let Some(start) = toks.iter().position(|t| t.line > comment_line) else {
+        return (comment_line, comment_line); // nothing follows: span is empty-ish
+    };
+    let base = toks[start].depth;
+    // Brackets and parens do not change brace depth, so a `;` inside
+    // `[Work; 9]` or `for<'a> fn(...)` must not end the item span —
+    // track their nesting separately.
+    let mut nested = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.depth < base {
+            // The enclosing block closed before the item did anything.
+            let prev = j.saturating_sub(1);
+            return (comment_line, toks[prev].line);
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            nested += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nested -= 1;
+        }
+        if t.depth == base && nested == 0 {
+            if t.is_punct(';') {
+                return (comment_line, t.line);
+            }
+            if t.is_punct('{') {
+                // Find the matching close at the same depth.
+                let mut k = j + 1;
+                while k < toks.len() {
+                    if toks[k].depth == base && toks[k].is_punct('}') {
+                        return (comment_line, toks[k].line);
+                    }
+                    k += 1;
+                }
+                let last = toks.len() - 1;
+                return (comment_line, toks[last].line);
+            }
+        }
+        j += 1;
+    }
+    let end = toks.last().map_or(comment_line, |t| t.line);
+    (comment_line, end)
+}
+
+/// Applies the allows to a candidate finding: returns `true` (and
+/// tallies the use) when some allow suppresses it.
+pub fn suppresses(allows: &mut [Allow], pass: Pass, line: u32) -> bool {
+    for a in allows.iter_mut() {
+        if a.from <= line && line <= a.to {
+            for (i, p) in a.passes.iter().enumerate() {
+                if *p == pass {
+                    a.used[i] += 1;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}

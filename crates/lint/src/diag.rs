@@ -1,0 +1,162 @@
+//! Diagnostics, reports, and the text / JSON renderers.
+
+use std::fmt::Write as _;
+
+/// The lint passes. `Allow` and `Lexer` are meta-passes used for
+/// malformed or unused `lint:allow` comments and unlexable files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    Nondeterminism,
+    Panic,
+    Unsafe,
+    Oracle,
+    Allow,
+    Lexer,
+}
+
+impl Pass {
+    /// The name used in diagnostics and in `lint:allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Nondeterminism => "nondeterminism",
+            Pass::Panic => "panic",
+            Pass::Unsafe => "unsafe",
+            Pass::Oracle => "oracle",
+            Pass::Allow => "allow",
+            Pass::Lexer => "lexer",
+        }
+    }
+
+    /// Parses a pass name as accepted by `lint:allow(...)`. Only real
+    /// passes can be allowed; the meta-passes cannot be suppressed.
+    pub fn from_allow_name(s: &str) -> Option<Pass> {
+        match s {
+            "nondeterminism" => Some(Pass::Nondeterminism),
+            "panic" => Some(Pass::Panic),
+            "unsafe" => Some(Pass::Unsafe),
+            "oracle" => Some(Pass::Oracle),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub pass: Pass,
+    pub msg: String,
+}
+
+/// A `lint:allow` that suppressed at least one finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowUse {
+    pub file: String,
+    /// Line of the `lint:allow` comment itself.
+    pub line: u32,
+    pub pass: Pass,
+    pub reason: String,
+    /// Number of findings this allow suppressed.
+    pub count: u32,
+}
+
+/// Full result of a `check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub allows: Vec<AllowUse>,
+    pub files_scanned: u32,
+}
+
+impl Report {
+    /// Sorts both lists into the canonical (file, line, pass) order so
+    /// output is byte-stable regardless of scan order.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort();
+        self.diagnostics.dedup();
+        self.allows.sort();
+    }
+
+    /// Human-readable rendering, one `file:line: [pass] message` per
+    /// diagnostic plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(s, "{}:{}: [{}] {}", d.file, d.line, d.pass.name(), d.msg);
+        }
+        let suppressed: u32 = self.allows.iter().map(|a| a.count).sum();
+        let _ = writeln!(
+            s,
+            "anneal-lint: {} diagnostic(s), {} finding(s) suppressed by {} lint:allow(s), {} file(s) scanned",
+            self.diagnostics.len(),
+            suppressed,
+            self.allows.len(),
+            self.files_scanned,
+        );
+        s
+    }
+
+    /// Machine-readable rendering for CI artifacts.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"file\": {}, \"line\": {}, \"pass\": {}, \"message\": {}}}",
+                json_str(&d.file),
+                d.line,
+                json_str(d.pass.name()),
+                json_str(&d.msg),
+            );
+        }
+        s.push_str("\n  ],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"file\": {}, \"line\": {}, \"pass\": {}, \"reason\": {}, \"suppressed\": {}}}",
+                json_str(&a.file),
+                a.line,
+                json_str(a.pass.name()),
+                json_str(&a.reason),
+                a.count,
+            );
+        }
+        let _ = write!(
+            s,
+            "\n  ],\n  \"summary\": {{\"diagnostics\": {}, \"allows\": {}, \"files_scanned\": {}}}\n}}\n",
+            self.diagnostics.len(),
+            self.allows.len(),
+            self.files_scanned,
+        );
+        s
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with the quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,403 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The linter does not need a full parser: every pass is a matcher over
+//! a token stream from which comments and literal *contents* have been
+//! stripped. What the lexer must get exactly right is the *boundaries*
+//! of comments and literals, so that `.unwrap()` inside a string, a
+//! doc-comment example, or a nested block comment is never mistaken for
+//! code. It therefore handles:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, char literals
+//!   (including `'\''`), and the char-vs-lifetime ambiguity (`'a'`
+//!   vs. `<'a>`);
+//! * raw strings `r"…"` / `r#"…"#` with any number of `#`s, raw byte
+//!   strings `br#"…"#`, and raw identifiers `r#type`;
+//! * brace depth per token (used for scope-aware `lint:allow` spans and
+//!   `#[cfg(test)]` item skipping).
+//!
+//! Comments are not discarded: they are returned alongside the tokens
+//! because two passes read them (`// SAFETY:` audit and the
+//! `// lint:allow(...)` escape hatch).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword. `text` holds the name (raw identifiers
+    /// `r#type` are unescaped to `type`).
+    Ident,
+    /// Single punctuation character; `text` holds exactly that char.
+    Punct,
+    /// Any literal (number, string, char). Contents are dropped.
+    Literal,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// Brace nesting depth. An opening `{` and its matching `}` share
+    /// the same depth; the tokens between them sit one level deeper.
+    pub depth: i32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// A comment, with full original text (`//…` or `/*…*/`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (== `line` for line comments).
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// A lexing failure (unterminated literal or comment).
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: u32,
+    pub msg: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
+    let cs: Vec<char> = src.chars().collect();
+    let n = cs.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut depth = 0i32;
+    let mut out = Lexed::default();
+
+    let at = |i: usize| -> Option<char> { cs.get(i).copied() };
+
+    while i < n {
+        let c = cs[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if at(i + 1) == Some('/') => {
+                let start = i;
+                while i < n && cs[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: cs[start..i].iter().collect(),
+                });
+            }
+            '/' if at(i + 1) == Some('*') => {
+                let (start, start_line) = (i, line);
+                let mut nest = 1u32;
+                i += 2;
+                while i < n && nest > 0 {
+                    if cs[i] == '/' && at(i + 1) == Some('*') {
+                        nest += 1;
+                        i += 2;
+                    } else if cs[i] == '*' && at(i + 1) == Some('/') {
+                        nest -= 1;
+                        i += 2;
+                    } else {
+                        if cs[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                if nest > 0 {
+                    return Err(LexError {
+                        line: start_line,
+                        msg: "unterminated block comment".into(),
+                    });
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: cs[start..i].iter().collect(),
+                });
+            }
+            '"' => {
+                let start_line = line;
+                i = scan_string(&cs, i, &mut line).ok_or_else(|| LexError {
+                    line: start_line,
+                    msg: "unterminated string literal".into(),
+                })?;
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                    depth,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\…'` and `'x'` are chars;
+                // `'ident` not followed by a closing quote is a lifetime.
+                let start_line = line;
+                if at(i + 1) == Some('\\') {
+                    // Skip opening quote, backslash, and the escaped
+                    // char (so `'\''` cannot close on its own escape);
+                    // longer escapes (`'\u{…}'`) fall to the scan below.
+                    i += 3;
+                    while i < n && cs[i] != '\'' {
+                        if cs[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    if i >= n {
+                        return Err(LexError {
+                            line: start_line,
+                            msg: "unterminated char literal".into(),
+                        });
+                    }
+                    i += 1;
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: start_line,
+                        depth,
+                    });
+                } else if at(i + 1).is_some_and(is_ident_continue) && at(i + 2) != Some('\'') {
+                    // Lifetime: consume the identifier, emit nothing.
+                    i += 1;
+                    while i < n && is_ident_continue(cs[i]) {
+                        i += 1;
+                    }
+                } else {
+                    // `'x'`, `' '`, `'√'`, …: a one-char literal.
+                    i += 1;
+                    while i < n && cs[i] != '\'' {
+                        if cs[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    if i >= n {
+                        return Err(LexError {
+                            line: start_line,
+                            msg: "unterminated char literal".into(),
+                        });
+                    }
+                    i += 1;
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: start_line,
+                        depth,
+                    });
+                }
+            }
+            '{' => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "{".into(),
+                    line,
+                    depth,
+                });
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth -= 1;
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "}".into(),
+                    line,
+                    depth,
+                });
+                i += 1;
+            }
+            c if is_ident_start(c) => {
+                // Raw strings / byte strings / raw identifiers share an
+                // identifier-like prefix; disambiguate before lexing a
+                // plain identifier.
+                if let Some((next_i, consumed_lines)) = scan_string_prefix(&cs, i) {
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                        depth,
+                    });
+                    line += consumed_lines;
+                    i = next_i;
+                    continue;
+                }
+                let start = i;
+                if c == 'r' && at(i + 1) == Some('#') && at(i + 2).is_some_and(is_ident_start) {
+                    // Raw identifier `r#type`: token text is `type`.
+                    i += 2;
+                    let id_start = i;
+                    while i < n && is_ident_continue(cs[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: cs[id_start..i].iter().collect(),
+                        line,
+                        depth,
+                    });
+                    continue;
+                }
+                while i < n && is_ident_continue(cs[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: cs[start..i].iter().collect(),
+                    line,
+                    depth,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut seen_dot = false;
+                while i < n {
+                    let d = cs[i];
+                    if is_ident_continue(d) {
+                        i += 1;
+                    } else if d == '.' && !seen_dot && at(i + 1).is_some_and(|x| x.is_ascii_digit())
+                    {
+                        seen_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    depth,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    depth,
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scans a normal (escaped) string starting at the opening `"` at `i`;
+/// returns the index just past the closing quote, or `None` if
+/// unterminated. Updates `line` for embedded newlines.
+fn scan_string(cs: &[char], i: usize, line: &mut u32) -> Option<usize> {
+    let n = cs.len();
+    let mut i = i + 1;
+    while i < n {
+        match cs[i] {
+            '\\' => i += 2,
+            '"' => return Some(i + 1),
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// If position `i` starts a raw/byte string literal (`r"…"`, `r#"…"#`,
+/// `b"…"`, `br##"…"##`, `b'…'`), scans it and returns
+/// `(index_past_literal, newlines_consumed)`. Returns `None` when `i`
+/// starts a plain identifier instead.
+fn scan_string_prefix(cs: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = cs.len();
+    let at = |i: usize| -> Option<char> { cs.get(i).copied() };
+    let c = *cs.get(i)?;
+
+    // Byte char `b'…'`: unlike a bare `'`, this is always a literal.
+    if c == 'b' && at(i + 1) == Some('\'') {
+        let mut j = i + 2;
+        if at(j) == Some('\\') {
+            j += 2;
+        }
+        let mut lines = 0u32;
+        while j < n && cs[j] != '\'' {
+            if cs[j] == '\n' {
+                lines += 1;
+            }
+            j += 1;
+        }
+        return Some((j + 1, lines));
+    }
+    // Escaped byte string `b"…"`.
+    if c == 'b' && at(i + 1) == Some('"') {
+        let mut lines = 0u32;
+        let end = scan_string(cs, i + 1, &mut lines)?;
+        return Some((end, lines));
+    }
+    // Raw (byte) string: `r`/`br`, then zero or more `#`, then `"`.
+    let hash_start = match c {
+        'r' => i + 1,
+        'b' if at(i + 1) == Some('r') => i + 2,
+        _ => return None,
+    };
+    let mut j = hash_start;
+    while at(j) == Some('#') {
+        j += 1;
+    }
+    let hashes = j - hash_start;
+    if at(j) != Some('"') {
+        return None; // plain identifier (or raw identifier, handled by caller)
+    }
+    // Scan to `"` followed by `hashes` `#`s.
+    j += 1;
+    let mut lines = 0u32;
+    while j < n {
+        if cs[j] == '\n' {
+            lines += 1;
+            j += 1;
+            continue;
+        }
+        if cs[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && at(j + 1 + k) == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some((j + 1 + hashes, lines));
+            }
+        }
+        j += 1;
+    }
+    None
+}

@@ -1,0 +1,85 @@
+//! # anneal-lint
+//!
+//! A self-contained determinism & soundness lint suite for the
+//! annealsched workspace. Everything this reproduction guarantees —
+//! byte-reproducible tournaments, re-shard-invariant campaign merges,
+//! bit-identical fast-path evaluation — rests on source-level
+//! discipline that `rustc` does not check. This tool machine-checks
+//! that discipline:
+//!
+//! * **L1 `nondeterminism`** — no default-hasher `HashMap`/`HashSet`
+//!   (iteration-order hazard), no clock/env/thread-identity reads in
+//!   the hot-path crates (`core`, `sim`, `graph`, `arena`).
+//! * **L2 `panic`** — no `unwrap`/`expect`/`panic!`/`unreachable!` in
+//!   library code outside `#[cfg(test)]`.
+//! * **L3 `unsafe`** — every `unsafe` carries a `// SAFETY:` comment;
+//!   crates with zero unsafe assert `#![forbid(unsafe_code)]`.
+//! * **L4 `oracle`** — every `pub fn` in `sim::fastpath`/`sim::eval`
+//!   is referenced from an equality-oracle test file.
+//!
+//! Justified exceptions use the structured escape hatch
+//! `// lint:allow(<pass>) reason="…"` (see [`allows`]); unused or
+//! malformed allows are themselves diagnostics.
+//!
+//! Run as `cargo run -p anneal-lint -- check [--format json]`; see
+//! `docs/LINTS.md` for the full policy.
+
+#![forbid(unsafe_code)]
+
+pub mod allows;
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod scan;
+
+use std::io;
+
+pub use diag::{Diagnostic, Pass, Report};
+pub use scan::Config;
+
+/// Runs every pass over the workspace described by `cfg` and returns
+/// the normalized report. The caller decides rendering and exit code.
+pub fn check(cfg: &Config) -> io::Result<Report> {
+    let (mut files, mut diags) = scan::load_workspace(cfg)?;
+    passes::nondeterminism(cfg, &mut files, &mut diags);
+    passes::panic_hygiene(&mut files, &mut diags);
+    passes::unsafe_audit(&mut files, &mut diags);
+    passes::oracle(cfg, &mut files, &mut diags)?;
+
+    // Tally allows; an allow that suppressed nothing is stale and must
+    // be removed (otherwise escapes outlive the code they excused).
+    let mut allows_used = Vec::new();
+    for f in &files {
+        for a in &f.allows {
+            for (i, p) in a.passes.iter().enumerate() {
+                if a.used[i] > 0 {
+                    allows_used.push(diag::AllowUse {
+                        file: f.rel.clone(),
+                        line: a.line,
+                        pass: *p,
+                        reason: a.reason.clone(),
+                        count: a.used[i],
+                    });
+                } else {
+                    diags.push(Diagnostic {
+                        file: f.rel.clone(),
+                        line: a.line,
+                        pass: Pass::Allow,
+                        msg: format!(
+                            "unused lint:allow({}) — it suppresses nothing; remove it",
+                            p.name()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut report = Report {
+        diagnostics: diags,
+        allows: allows_used,
+        files_scanned: files.len() as u32,
+    };
+    report.normalize();
+    Ok(report)
+}

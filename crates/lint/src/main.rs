@@ -1,0 +1,68 @@
+//! CLI for the workspace lint suite.
+//!
+//! ```text
+//! anneal-lint check [--root <dir>] [--format text|json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anneal_lint::{check, Config};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: anneal-lint check [--root <dir>] [--format text|json]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut subcommand = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" if subcommand.is_none() => subcommand = Some("check"),
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--format" => match it.next() {
+                Some(v) if v == "text" || v == "json" => format = v.clone(),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if subcommand != Some("check") {
+        return usage();
+    }
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "anneal-lint: no Cargo.toml under {} — run from the workspace root \
+             or pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let cfg = Config::for_workspace(&root);
+    let report = match check(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("anneal-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format.as_str() {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

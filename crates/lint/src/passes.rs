@@ -1,0 +1,346 @@
+//! The four lint passes.
+//!
+//! Each pass is a matcher over the stripped token stream (see
+//! [`crate::lexer`]); candidate findings are routed through the
+//! per-file `lint:allow` table before becoming diagnostics.
+
+use std::collections::BTreeSet;
+
+use crate::allows;
+use crate::diag::{Diagnostic, Pass};
+use crate::lexer::{self, Tok, TokKind};
+use crate::scan::{self, Config, FileKind, SourceFile};
+
+/// Emits a finding unless a `lint:allow` covers it.
+fn emit(f: &mut SourceFile, diags: &mut Vec<Diagnostic>, pass: Pass, line: u32, msg: String) {
+    if allows::suppresses(&mut f.allows, pass, line) {
+        return;
+    }
+    diags.push(Diagnostic {
+        file: f.rel.clone(),
+        line,
+        pass,
+        msg,
+    });
+}
+
+/// True when the tokens starting at `k` match `pats`, where each
+/// pattern is an identifier name or a single punctuation char.
+fn seq(toks: &[Tok], k: usize, pats: &[&str]) -> bool {
+    if k + pats.len() > toks.len() {
+        return false;
+    }
+    pats.iter().enumerate().all(|(i, p)| {
+        let t = &toks[k + i];
+        match t.kind {
+            TokKind::Ident => t.text == *p,
+            TokKind::Punct => p.len() == 1 && t.text == *p,
+            TokKind::Literal => false,
+        }
+    })
+}
+
+/// L1 — nondeterminism sources.
+///
+/// * Default-hasher `HashMap`/`HashSet` anywhere outside test code:
+///   iteration order varies run to run, so any loop over one can leak
+///   nondeterminism into output. `HashMap<K, V, S>` / `HashSet<T, S>`
+///   with an explicit third/second type parameter (a chosen
+///   `BuildHasher`) is accepted.
+/// * Clock, environment, and thread-identity reads (`Instant::now`,
+///   `SystemTime`, `std::env`, `thread::current`) in the replayable
+///   hot-path crates.
+pub fn nondeterminism(cfg: &Config, files: &mut [SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files.iter_mut() {
+        let hot = cfg.hot_crates.contains(&f.crate_name);
+        let toks = std::mem::take(&mut f.lexed.toks);
+        for (k, t) in toks.iter().enumerate() {
+            if f.in_test(t.line) {
+                continue;
+            }
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                let needed = if t.text == "HashMap" { 2 } else { 1 };
+                if !explicit_hasher(&toks, k, needed) {
+                    emit(
+                        f,
+                        diags,
+                        Pass::Nondeterminism,
+                        t.line,
+                        format!(
+                            "default-hasher `{0}` (iteration order is randomized per \
+                             process); use `BTree{1}` or an explicit deterministic \
+                             `BuildHasher`",
+                            t.text,
+                            t.text.trim_start_matches("Hash"),
+                        ),
+                    );
+                }
+            }
+            if hot {
+                let found = if seq(&toks, k, &["Instant", ":", ":", "now"]) {
+                    Some("`Instant::now` (wall clock)")
+                } else if t.is_ident("SystemTime") {
+                    Some("`SystemTime` (wall clock)")
+                } else if seq(&toks, k, &["std", ":", ":", "env"]) {
+                    Some("`std::env` (process environment)")
+                } else if seq(&toks, k, &["thread", ":", ":", "current"]) {
+                    Some("`thread::current` (thread identity)")
+                } else {
+                    None
+                };
+                if let Some(what) = found {
+                    emit(
+                        f,
+                        diags,
+                        Pass::Nondeterminism,
+                        t.line,
+                        format!(
+                            "{what} in hot-path crate `{}`: replayable code must take \
+                             all inputs explicitly",
+                            f.crate_name
+                        ),
+                    );
+                }
+            }
+        }
+        f.lexed.toks = toks;
+    }
+}
+
+/// Does `HashMap`/`HashSet` at `k` carry an explicit hasher type
+/// parameter? Checks for `<` immediately after, then counts top-level
+/// commas in the balanced angle-bracket group.
+fn explicit_hasher(toks: &[Tok], k: usize, needed_commas: usize) -> bool {
+    if !toks.get(k + 1).is_some_and(|t| t.is_punct('<')) {
+        return false;
+    }
+    let mut depth = 1i32;
+    let mut nested = 0i32; // ()/[] nesting (tuple and array types)
+    let mut commas = 0usize;
+    let mut j = k + 2;
+    let mut steps = 0;
+    while j < toks.len() && steps < 96 {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            nested += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nested -= 1;
+        } else if t.is_punct('>') {
+            // `->` inside fn-pointer types must not close the group.
+            if !toks.get(j - 1).is_some_and(|p| p.is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    return commas >= needed_commas;
+                }
+            }
+        } else if t.is_punct(',') && depth == 1 && nested == 0 {
+            commas += 1;
+        }
+        j += 1;
+        steps += 1;
+    }
+    false
+}
+
+/// L2 — panic hygiene: `unwrap`/`expect`/`panic!`/`unreachable!`
+/// (plus `todo!`/`unimplemented!`) are denied in library code outside
+/// `#[cfg(test)]`. A library that can panic on untrusted input turns a
+/// bad campaign instance into a dead shard; recoverable paths must
+/// return `Result`. Invariant-backed sites document themselves with
+/// `lint:allow(panic) reason="…"`.
+pub fn panic_hygiene(files: &mut [SourceFile], diags: &mut Vec<Diagnostic>) {
+    const CALLS: [&str; 2] = ["unwrap", "expect"];
+    const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    for f in files.iter_mut() {
+        if f.kind != FileKind::Lib {
+            continue;
+        }
+        let toks = std::mem::take(&mut f.lexed.toks);
+        for (k, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || f.in_test(t.line) {
+                continue;
+            }
+            let name = t.text.as_str();
+            let is_call = CALLS.contains(&name)
+                && k > 0
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+            let is_macro =
+                MACROS.contains(&name) && toks.get(k + 1).is_some_and(|n| n.is_punct('!'));
+            if is_call {
+                emit(
+                    f,
+                    diags,
+                    Pass::Panic,
+                    t.line,
+                    format!(
+                        "`.{name}()` in library code: return a `Result`/`Option` or \
+                         justify the invariant with `lint:allow(panic)`"
+                    ),
+                );
+            } else if is_macro {
+                emit(
+                    f,
+                    diags,
+                    Pass::Panic,
+                    t.line,
+                    format!(
+                        "`{name}!` in library code: return an error or justify the \
+                         invariant with `lint:allow(panic)`"
+                    ),
+                );
+            }
+        }
+        f.lexed.toks = toks;
+    }
+}
+
+/// L3 — unsafe audit: every `unsafe` keyword needs a `// SAFETY:`
+/// comment on the same line or within the three lines above it, and
+/// every crate whose sources contain no `unsafe` at all must assert
+/// `#![forbid(unsafe_code)]` in its `lib.rs` so it stays that way.
+pub fn unsafe_audit(files: &mut [SourceFile], diags: &mut Vec<Diagnostic>) {
+    // Which crates contain any `unsafe` (test spans included — cfg(test)
+    // modules compile under the crate's own forbid attribute)?
+    let mut crates_with_unsafe: BTreeSet<String> = BTreeSet::new();
+    let mut all_crates: BTreeSet<String> = BTreeSet::new();
+    for f in files.iter() {
+        all_crates.insert(f.crate_name.clone());
+        if f.lexed.toks.iter().any(|t| t.is_ident("unsafe")) {
+            crates_with_unsafe.insert(f.crate_name.clone());
+        }
+    }
+
+    for f in files.iter_mut() {
+        let toks = std::mem::take(&mut f.lexed.toks);
+        let comments = std::mem::take(&mut f.lexed.comments);
+        for t in toks.iter().filter(|t| t.is_ident("unsafe")) {
+            let documented = comments.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.end_line + 3 >= t.line && c.end_line <= t.line
+            });
+            if !documented {
+                emit(
+                    f,
+                    diags,
+                    Pass::Unsafe,
+                    t.line,
+                    "`unsafe` without a `// SAFETY:` comment on the line above".into(),
+                );
+            }
+        }
+        f.lexed.toks = toks;
+        f.lexed.comments = comments;
+    }
+
+    // Forbid assertion, checked on each crate's lib.rs.
+    for f in files.iter_mut() {
+        if !(f.rel.ends_with("src/lib.rs") && f.kind == FileKind::Lib) {
+            continue;
+        }
+        let has_forbid = (0..f.lexed.toks.len()).any(|k| {
+            seq(
+                &f.lexed.toks,
+                k,
+                &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+            )
+        });
+        let has_unsafe = crates_with_unsafe.contains(&f.crate_name);
+        if !has_unsafe && !has_forbid {
+            emit(
+                f,
+                diags,
+                Pass::Unsafe,
+                1,
+                "crate has no unsafe code but does not assert \
+                 `#![forbid(unsafe_code)]` in lib.rs"
+                    .into(),
+            );
+        }
+    }
+    let _ = all_crates;
+}
+
+/// L4 — oracle coverage: every `pub fn` in the fast-path evaluation
+/// modules must be referenced by name from at least one oracle test
+/// file, so the bit-identical contract cannot silently lose coverage
+/// when an API is added or a test deleted.
+pub fn oracle(
+    cfg: &Config,
+    files: &mut [SourceFile],
+    diags: &mut Vec<Diagnostic>,
+) -> std::io::Result<()> {
+    // Union of identifiers appearing in the oracle test files.
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for dir in &cfg.oracle_test_dirs {
+        for path in scan::rust_files(&cfg.root.join(dir))? {
+            let text = std::fs::read_to_string(&path)?;
+            if let Ok(lexed) = lexer::lex(&text) {
+                for t in lexed.toks {
+                    if t.kind == TokKind::Ident {
+                        referenced.insert(t.text);
+                    }
+                }
+            }
+        }
+    }
+
+    for f in files.iter_mut() {
+        if !cfg.oracle_targets.contains(&f.rel) {
+            continue;
+        }
+        let toks = std::mem::take(&mut f.lexed.toks);
+        for (name, line) in pub_fns(&toks) {
+            if f.in_test(line) {
+                continue;
+            }
+            if !referenced.contains(&name) {
+                emit(
+                    f,
+                    diags,
+                    Pass::Oracle,
+                    line,
+                    format!(
+                        "`pub fn {name}` is not referenced from any equality-oracle \
+                         test file; add coverage before extending the fast-path API"
+                    ),
+                );
+            }
+        }
+        f.lexed.toks = toks;
+    }
+    Ok(())
+}
+
+/// Collects `(name, line)` for every bare-`pub` fn (not `pub(crate)`).
+fn pub_fns(toks: &[Tok]) -> Vec<(String, u32)> {
+    const QUALIFIERS: [&str; 4] = ["const", "async", "unsafe", "extern"];
+    let mut out = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if !t.is_ident("pub") {
+            continue;
+        }
+        // `pub(crate)`/`pub(super)` are not public API.
+        let mut j = k + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // Skip fn qualifiers (and the ABI string after `extern`).
+        while toks.get(j).is_some_and(|t| {
+            (t.kind == TokKind::Ident && QUALIFIERS.contains(&t.text.as_str()))
+                || t.kind == TokKind::Literal
+        }) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            continue;
+        }
+        if let Some(name) = toks.get(j + 1) {
+            if name.kind == TokKind::Ident {
+                out.push((name.text.clone(), name.line));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,128 @@
+//! Golden-fixture tests: each pass runs over a miniature workspace
+//! under `tests/fixtures/<name>/` containing seeded violations,
+//! negatives, and `lint:allow` cases; the full rendered report
+//! (diagnostics *and* honored allows, via JSON) is snapshot-compared
+//! against `expected.json`.
+//!
+//! Regenerate snapshots with
+//! `BLESS=1 cargo test -p anneal-lint --test fixtures` and review the
+//! diff like any other code change.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use anneal_lint::{check, Config};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str, tweak: impl FnOnce(&mut Config)) {
+    let root = fixture_root(name);
+    let mut cfg = Config {
+        root: root.clone(),
+        hot_crates: Vec::new(),
+        oracle_targets: Vec::new(),
+        oracle_test_dirs: Vec::new(),
+    };
+    tweak(&mut cfg);
+    let report = check(&cfg).expect("fixture scan");
+    let got = report.render_json();
+    let snap = root.join("expected.json");
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&snap, &got).expect("write snapshot");
+        return;
+    }
+    let want = fs::read_to_string(&snap)
+        .unwrap_or_else(|_| panic!("missing snapshot {} — run with BLESS=1", snap.display()));
+    assert_eq!(
+        got, want,
+        "fixture `{name}` diverged from its snapshot; \
+         run BLESS=1 cargo test -p anneal-lint and review the diff"
+    );
+}
+
+#[test]
+fn nondeterminism_fixture() {
+    run_fixture("nondeterminism", |cfg| {
+        cfg.hot_crates = vec!["sim".into()];
+    });
+}
+
+#[test]
+fn panic_fixture() {
+    run_fixture("panic", |_| {});
+}
+
+#[test]
+fn unsafe_fixture() {
+    run_fixture("unsafe_audit", |_| {});
+}
+
+#[test]
+fn oracle_fixture() {
+    run_fixture("oracle", |cfg| {
+        cfg.oracle_targets = vec!["crates/sim/src/fastpath.rs".into()];
+        cfg.oracle_test_dirs = vec!["crates/sim/tests".into()];
+    });
+}
+
+/// A seeded violation must fail the check (non-empty diagnostics) —
+/// the suite is only trustworthy if the positive cases actually fire.
+#[test]
+fn seeded_violations_fail_each_pass() {
+    type Tweak = fn(&mut Config);
+    let cases: [(&str, &str, Tweak); 4] = [
+        ("nondeterminism", "nondeterminism", |cfg| {
+            cfg.hot_crates = vec!["sim".into()]
+        }),
+        ("panic", "panic", |_| {}),
+        ("unsafe_audit", "unsafe", |_| {}),
+        ("oracle", "oracle", |cfg| {
+            cfg.oracle_targets = vec!["crates/sim/src/fastpath.rs".into()];
+            cfg.oracle_test_dirs = vec!["crates/sim/tests".into()];
+        }),
+    ];
+    for (name, pass, tweak) in cases {
+        let mut cfg = Config {
+            root: fixture_root(name),
+            hot_crates: Vec::new(),
+            oracle_targets: Vec::new(),
+            oracle_test_dirs: Vec::new(),
+        };
+        tweak(&mut cfg);
+        let report = check(&cfg).expect("fixture scan");
+        assert!(
+            report.diagnostics.iter().any(|d| d.pass.name() == pass),
+            "fixture `{name}` no longer triggers pass `{pass}`"
+        );
+    }
+}
+
+/// The allow tally must survive into the report: the item-scoped allow
+/// in the panic fixture suppresses two findings with one comment.
+#[test]
+fn allow_tally_counts_suppressions() {
+    let mut cfg = Config {
+        root: fixture_root("panic"),
+        hot_crates: Vec::new(),
+        oracle_targets: Vec::new(),
+        oracle_test_dirs: Vec::new(),
+    };
+    cfg.hot_crates.clear();
+    let report = check(&cfg).expect("fixture scan");
+    let item = report
+        .allows
+        .iter()
+        .find(|a| a.reason.contains("builder"))
+        .expect("item-scoped allow is honored");
+    assert_eq!(item.count, 2, "one allow above the fn covers both calls");
+    let trailing = report
+        .allows
+        .iter()
+        .find(|a| a.reason.contains("caller checked"))
+        .expect("trailing allow is honored");
+    assert_eq!(trailing.count, 1);
+}

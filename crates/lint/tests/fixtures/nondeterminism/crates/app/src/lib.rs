@@ -1,0 +1,38 @@
+//! Fixture: default-hasher containers in library code.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap; // fine: ordered
+use std::collections::HashMap; // FLAG: default hasher
+
+/// A deterministic hasher stand-in for the explicit-BuildHasher case.
+pub struct FixedState;
+
+pub struct Tables {
+    /// FLAG: tuple keys must not hide the missing hasher parameter.
+    pub edges: std::collections::HashSet<(u32, u32)>,
+    /// fine: explicit `BuildHasher` type parameter.
+    pub keyed: std::collections::HashMap<u32, u32, FixedState>,
+    /// fine: explicit hasher on a set.
+    pub seen: std::collections::HashSet<(u32, u32), FixedState>,
+    /// fine: ordered map.
+    pub sorted: BTreeMap<String, u32>,
+}
+
+pub fn grow(m: &mut HashMap<String, u32>) {
+    m.insert("x".into(), 1);
+}
+
+// lint:allow(nondeterminism) reason="memo table: lookup only, never iterated"
+pub fn memo() -> HashMap<String, u32> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_hash() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: clock/env/thread-identity reads in a hot-path crate.
+#![forbid(unsafe_code)]
+
+use std::time::Instant; // importing the type is fine; *reading* it is not
+
+pub fn stamp() -> Instant {
+    Instant::now() // FLAG: wall clock in hot path
+}
+
+pub fn epoch() -> u64 {
+    let _ = std::time::SystemTime::UNIX_EPOCH; // FLAG: SystemTime
+    0
+}
+
+pub fn who() -> String {
+    // FLAG ×2: environment read and thread identity.
+    let user = std::env::var("USER").unwrap_or_default();
+    let _ = std::thread::current();
+    user
+}
+
+// lint:allow(nondeterminism) reason="diagnostic timer, never affects results"
+pub fn timed() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_env() {
+        let _ = std::env::temp_dir();
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: oracle coverage over the fast-path API.
+
+/// Referenced from `tests/oracle.rs` — covered.
+pub fn simulate_fast(x: u64) -> u64 {
+    x + 1
+}
+
+/// Not referenced anywhere — FLAG.
+pub fn forgotten_api(x: u64) -> u64 {
+    x + 2
+}
+
+/// Crate-internal: not part of the public contract.
+pub(crate) fn internal_helper(x: u64) -> u64 {
+    x + 3
+}
+
+// lint:allow(oracle) reason="accessor, covered transitively via simulate_fast"
+pub fn scratch_len() -> usize {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn local_tests_are_not_the_oracle() {
+        assert_eq!(super::simulate_fast(1), 2);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture crate root for the oracle-coverage pass.
+#![forbid(unsafe_code)]
+
+pub mod fastpath;

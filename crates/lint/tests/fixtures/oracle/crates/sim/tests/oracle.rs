@@ -1,0 +1,8 @@
+//! The equality oracle for the fixture fast path: references
+//! `simulate_fast`, leaves `forgotten_api` uncovered on purpose.
+
+#[test]
+fn fast_path_matches_reference() {
+    let reference = 41 + 1;
+    assert_eq!(sim::fastpath::simulate_fast(41), reference);
+}

@@ -1,0 +1,6 @@
+//! Fixture: binaries may unwrap (panic hygiene covers library code).
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    println!("{}", v.unwrap());
+}

@@ -1,0 +1,78 @@
+//! Fixture: panic hygiene in library code.
+#![forbid(unsafe_code)]
+
+/// Doc examples are comments, not code:
+///
+/// ```
+/// let v: Option<u32> = None;
+/// v.unwrap(); // must NOT be flagged
+/// ```
+pub fn documented() {}
+
+pub fn naked_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // FLAG
+}
+
+pub fn naked_expect(v: Option<u32>) -> u32 {
+    v.expect("present") // FLAG
+}
+
+pub fn exploding(x: u32) -> u32 {
+    if x > 10 {
+        panic!("too big"); // FLAG
+    }
+    match x {
+        0..=10 => x,
+        _ => unreachable!(), // FLAG
+    }
+}
+
+pub fn strings_are_not_code() -> &'static str {
+    // Neither the raw string nor the escaped one below is code.
+    let a = r#"calling .unwrap() and panic!("x") in a raw string"#;
+    let _b = "more .expect(\"quoted\") text";
+    a
+}
+
+pub fn trailing_allow(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic) reason="caller checked is_some above"
+}
+
+// lint:allow(panic) reason="indices come from the builder, in range by construction"
+pub fn item_allow(xs: &[u32]) -> u32 {
+    let a = xs.first().unwrap();
+    let b = xs.last().expect("non-empty");
+    a + b
+}
+
+// lint:allow(panic) reason="stale: nothing below panics"
+pub fn stale_allow() -> u32 {
+    7
+}
+
+// lint:allow(panic)
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.map_or(0, |x| x)
+}
+
+// lint:allow(warp_drive) reason="no such pass"
+pub fn unknown_pass() -> u32 {
+    9
+}
+
+pub fn unwrap_or_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(3).min(v.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(naked_unwrap(Some(3)), 3);
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        v.expect("fine in tests");
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate with zero unsafe and the forbid attribute — clean.
+#![forbid(unsafe_code)]
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

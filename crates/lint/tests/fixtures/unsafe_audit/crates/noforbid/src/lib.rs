@@ -1,0 +1,5 @@
+//! Fixture: zero unsafe but missing `#![forbid(unsafe_code)]` — FLAG.
+
+pub fn triple(x: u32) -> u32 {
+    x * 3
+}

@@ -1,0 +1,25 @@
+//! Fixture: unsafe code with and without `// SAFETY:` comments.
+//! (No forbid attribute required — the crate genuinely uses unsafe.)
+
+pub fn documented(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        return 0;
+    }
+    // SAFETY: emptiness was checked above, so index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn undocumented(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        return 0;
+    }
+    unsafe { *xs.get_unchecked(0) } // FLAG: no SAFETY comment
+}
+
+// lint:allow(unsafe) reason="exercises the allow path for the unsafe pass"
+pub fn excused(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        return 0;
+    }
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,129 @@
+//! Edge-case tests for the hand-rolled lexer: the lint suite is only
+//! sound if literal and comment *boundaries* are exact.
+
+use anneal_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .expect("lex")
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn line_and_doc_comments_are_stripped() {
+    let src = "let a = 1; // trailing .unwrap()\n/// doc .expect(\nlet b = 2;";
+    let ids = idents(src);
+    assert_eq!(ids, ["let", "a", "let", "b"]);
+    let lexed = lex(src).expect("lex");
+    assert_eq!(lexed.comments.len(), 2);
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "a /* outer /* inner */ still outer */ b";
+    assert_eq!(idents(src), ["a", "b"]);
+    let unterminated = "a /* outer /* inner */ still open";
+    assert!(lex(unterminated).is_err());
+}
+
+#[test]
+fn block_comment_line_numbers_span() {
+    let src = "/* one\ntwo\nthree */ x";
+    let lexed = lex(src).expect("lex");
+    assert_eq!(lexed.comments[0].line, 1);
+    assert_eq!(lexed.comments[0].end_line, 3);
+    assert_eq!(lexed.toks[0].line, 3);
+}
+
+#[test]
+fn strings_hide_their_contents() {
+    let src = r#"let s = "no // comment and no .unwrap() here"; done"#;
+    assert_eq!(idents(src), ["let", "s", "done"]);
+}
+
+#[test]
+fn escaped_quotes_do_not_terminate() {
+    let src = "let s = \"quote \\\" inside\"; after";
+    assert_eq!(idents(src), ["let", "s", "after"]);
+}
+
+#[test]
+fn raw_strings_with_hashes() {
+    // `"#` inside the raw string must not close it (needs two hashes).
+    let src = r###"let s = r##"contains "# and */ and .unwrap()"##; tail"###;
+    assert_eq!(idents(src), ["let", "s", "tail"]);
+}
+
+#[test]
+fn raw_string_zero_hashes_and_byte_strings() {
+    let src = r##"let a = r"plain raw"; let b = b"bytes"; let c = br#"raw bytes"#; end"##;
+    assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c", "end"]);
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_strings() {
+    let src = "fn r#type(r#fn: u32) {}";
+    assert_eq!(idents(src), ["fn", "type", "fn", "u32"]);
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    // `'a'` is a char; `'a` in generics is a lifetime; `'\''` escapes.
+    let src = "let c = 'a'; fn f<'a>(x: &'a str) {} let q = '\\''; let n = '\\n';";
+    let ids = idents(src);
+    assert_eq!(
+        ids,
+        ["let", "c", "fn", "f", "x", "str", "let", "q", "let", "n"]
+    );
+}
+
+#[test]
+fn multiline_string_advances_line_counter() {
+    let src = "let s = \"line one\nline two\";\nx";
+    let lexed = lex(src).expect("lex");
+    let x = lexed
+        .toks
+        .iter()
+        .find(|t| t.is_ident("x"))
+        .expect("x token");
+    assert_eq!(x.line, 3);
+}
+
+#[test]
+fn brace_depth_is_tracked() {
+    let src = "fn f() { if x { y(); } }";
+    let lexed = lex(src).expect("lex");
+    let y = lexed
+        .toks
+        .iter()
+        .find(|t| t.is_ident("y"))
+        .expect("y token");
+    assert_eq!(y.depth, 2);
+    let f = lexed
+        .toks
+        .iter()
+        .find(|t| t.is_ident("f"))
+        .expect("f token");
+    assert_eq!(f.depth, 0);
+}
+
+#[test]
+fn numeric_literals_do_not_eat_ranges() {
+    // `0..10` must lex as literal, dot, dot, literal — not a float.
+    let src = "for i in 0..10 { body(i); }";
+    let lexed = lex(src).expect("lex");
+    let dots = lexed.toks.iter().filter(|t| t.is_punct('.')).count();
+    assert_eq!(dots, 2);
+    assert_eq!(idents(src), ["for", "i", "in", "body", "i"]);
+}
+
+#[test]
+fn unterminated_string_is_an_error() {
+    assert!(lex("let s = \"never closed").is_err());
+    let err = lex("let s = \"never closed").expect_err("error");
+    assert_eq!(err.line, 1);
+}

@@ -1,6 +1,5 @@
 //! Minimal CSV writer (RFC-4180-style quoting, no dependencies).
 
-use std::fmt::Write as _;
 use std::path::Path;
 
 /// An in-memory CSV document.
@@ -74,9 +73,7 @@ fn escape(s: &str) -> String {
 
 /// Formats a float with fixed decimals (shared by the report binaries).
 pub fn f(v: f64, decimals: usize) -> String {
-    let mut s = String::new();
-    write!(s, "{v:.decimals$}").unwrap();
-    s
+    format!("{v:.decimals$}")
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! assert_eq!(merged.matrix_csv().as_str(), shard.as_str());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

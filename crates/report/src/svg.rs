@@ -41,6 +41,15 @@ const MARGIN_BOTTOM: u32 = 28;
 
 /// Renders the trace as an SVG document string.
 pub fn render_svg(g: &Gantt, num_procs: usize, opts: &SvgOptions) -> String {
+    // lint:allow(panic) reason="fmt::Write into a String is infallible"
+    render_svg_impl(g, num_procs, opts).expect("String formatting cannot fail")
+}
+
+fn render_svg_impl(
+    g: &Gantt,
+    num_procs: usize,
+    opts: &SvgOptions,
+) -> Result<String, std::fmt::Error> {
     let (t0, t1) = opts.window.unwrap_or((0, g.makespan.max(1)));
     assert!(t1 > t0, "empty time window");
     let span = (t1 - t0) as f64;
@@ -54,9 +63,8 @@ pub fn render_svg(g: &Gantt, num_procs: usize, opts: &SvgOptions) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" font-family="monospace" font-size="10">"#,
         w = opts.width
-    )
-    .unwrap();
-    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
+    )?;
+    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
 
     for p in 0..num_procs {
         let lane_top = MARGIN_TOP as f64 + p as f64 * lane_h;
@@ -65,15 +73,13 @@ pub fn render_svg(g: &Gantt, num_procs: usize, opts: &SvgOptions) -> String {
             svg,
             r#"<text x="4" y="{y:.1}">P{p}</text>"#,
             y = lane_top + lane_h * 0.55
-        )
-        .unwrap();
+        )?;
         writeln!(
             svg,
             r##"<line x1="{x0}" y1="{base:.1}" x2="{x1:.1}" y2="{base:.1}" stroke="#bbb" stroke-width="0.5"/>"##,
             x0 = MARGIN_LEFT,
             x1 = MARGIN_LEFT as f64 + plot_w
-        )
-        .unwrap();
+        )?;
 
         for s in g.proc_spans(ProcId::from_index(p)) {
             if s.end <= t0 || s.start >= t1 {
@@ -94,8 +100,7 @@ pub fn render_svg(g: &Gantt, num_procs: usize, opts: &SvgOptions) -> String {
             writeln!(
                 svg,
                 r##"<rect x="{xa:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" stroke="#333" stroke-width="0.3"/>"##,
-            )
-            .unwrap();
+            )?;
             if opts.task_ids && s.kind == SpanKind::Compute && w > 14.0 {
                 if let Some(t) = s.task {
                     writeln!(
@@ -104,8 +109,7 @@ pub fn render_svg(g: &Gantt, num_procs: usize, opts: &SvgOptions) -> String {
                         x = xa + 2.0,
                         ty = y + h * 0.7,
                         id = t.index()
-                    )
-                    .unwrap();
+                    )?;
                 }
             }
         }
@@ -120,11 +124,10 @@ pub fn render_svg(g: &Gantt, num_procs: usize, opts: &SvgOptions) -> String {
             r#"<text x="{x:.1}" y="{axis_y}">{label:.0}us</text>"#,
             x = x_of(t).min(MARGIN_LEFT as f64 + plot_w - 30.0),
             label = as_us(t)
-        )
-        .unwrap();
+        )?;
     }
     svg.push_str("</svg>\n");
-    svg
+    Ok(svg)
 }
 
 #[cfg(test)]

@@ -52,15 +52,24 @@ pub fn render_win_loss_matrix(
     for row in ratios {
         assert_eq!(row.len(), instances.len(), "one ratio per instance");
     }
+    // lint:allow(panic) reason="fmt::Write into a String is infallible"
+    render_impl(schedulers, instances, ratios, opts).expect("String formatting cannot fail")
+}
+
+fn render_impl(
+    schedulers: &[String],
+    instances: &[String],
+    ratios: &[Vec<f64>],
+    opts: &WinLossOptions,
+) -> Result<String, std::fmt::Error> {
     let width = LABEL_W + opts.cell_w * instances.len() as u32 + 8;
     let height = HEADER_H + opts.cell_h * schedulers.len() as u32 + 8;
     let mut svg = String::new();
     writeln!(
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="11">"#,
-    )
-    .unwrap();
-    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
+    )?;
+    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
 
     for (j, inst) in instances.iter().enumerate() {
         // rotated column headers so long instance names stay readable
@@ -70,8 +79,7 @@ pub fn render_win_loss_matrix(
             r#"<text x="{x}" y="{y}" transform="rotate(-35 {x} {y})">{name}</text>"#,
             y = HEADER_H - 8,
             name = xml_escape(inst)
-        )
-        .unwrap();
+        )?;
     }
 
     for (i, sched) in schedulers.iter().enumerate() {
@@ -81,8 +89,7 @@ pub fn render_win_loss_matrix(
             r#"<text x="4" y="{y}">{name}</text>"#,
             y = row_y + opts.cell_h * 2 / 3,
             name = xml_escape(sched)
-        )
-        .unwrap();
+        )?;
         for (j, &r) in ratios[i].iter().enumerate() {
             let x = LABEL_W + opts.cell_w * j as u32;
             writeln!(
@@ -91,20 +98,18 @@ pub fn render_win_loss_matrix(
                 w = opts.cell_w,
                 h = opts.cell_h,
                 fill = ratio_color(r, opts.worst_ratio),
-            )
-            .unwrap();
+            )?;
             writeln!(
                 svg,
                 r#"<text x="{tx}" y="{ty}">{label:.3}</text>"#,
                 tx = x + 4,
                 ty = row_y + opts.cell_h * 2 / 3,
                 label = r,
-            )
-            .unwrap();
+            )?;
         }
     }
     svg.push_str("</svg>\n");
-    svg
+    Ok(svg)
 }
 
 /// Green at ratio 1.0 blending to red at `worst` and beyond; out-of-range

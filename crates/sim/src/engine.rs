@@ -332,6 +332,7 @@ impl<'a> Engine<'a> {
         self.pump(p);
     }
 
+    // lint:allow(panic) reason="routes come from the routing table, so consecutive hops share a channel"
     fn channel_push(&mut self, msg_id: u32) {
         let m = &self.msgs[msg_id as usize];
         let (u, v) = (m.route[m.hop], m.route[m.hop + 1]);
@@ -352,6 +353,7 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // lint:allow(panic) reason="routes come from the routing table, so consecutive hops share a channel"
     fn current_channel(&self, msg_id: u32) -> ChannelId {
         let m = &self.msgs[msg_id as usize];
         let (u, v) = (m.route[m.hop], m.route[m.hop + 1]);
@@ -395,6 +397,7 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // lint:allow(panic) reason="the generation check above rejects stale timers, so the overhead is present and never Compute"
     fn on_overhead_done(&mut self, p: ProcId, gen: u64) {
         if self.procs[p.index()].gen != gen {
             return; // stale
@@ -421,6 +424,7 @@ impl<'a> Engine<'a> {
         self.pump(p);
     }
 
+    // lint:allow(panic) reason="messages are only created for assigned destination tasks"
     fn deliver(&mut self, msg_id: u32) {
         let t = self.msgs[msg_id as usize].dest_task;
         let pending = &mut self.pending_inputs[t.index()];
@@ -438,6 +442,7 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // lint:allow(panic) reason="the generation check above rejects stale timers, so the compute state is live"
     fn on_task_done(&mut self, p: ProcId, gen: u64) {
         if self.procs[p.index()].gen != gen {
             return; // stale
@@ -473,6 +478,7 @@ impl<'a> Engine<'a> {
         self.pump(p);
     }
 
+    // lint:allow(panic) reason="schedulers only assign ready tasks, whose predecessors have all finished"
     fn assign(&mut self, t: TaskId, q: ProcId) {
         self.placement[t.index()] = Some(q);
         self.procs[q.index()].assigned = Some(t);
@@ -561,8 +567,8 @@ impl<'a> Engine<'a> {
         }
 
         // Validate.
-        let mut used_tasks = std::collections::HashSet::new();
-        let mut used_procs = std::collections::HashSet::new();
+        let mut used_tasks = std::collections::BTreeSet::new();
+        let mut used_procs = std::collections::BTreeSet::new();
         for &(t, p) in &out {
             if self.ready.binary_search(&t).is_err() {
                 return Err(SimError::InvalidAssignment(format!("{t} is not ready")));
@@ -586,6 +592,7 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    // lint:allow(panic) reason="the deadlock check above guarantees every task was placed, started and finished"
     fn run(mut self, sched: &mut dyn OnlineScheduler) -> Result<SimResult, SimError> {
         let mut events: u64 = 0;
         loop {

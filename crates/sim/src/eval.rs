@@ -173,6 +173,7 @@ impl Driver for FixedDriver<'_> {
         Ok(())
     }
 
+    // lint:allow(panic) reason="the kernel assigns only tasks it previously reported ready"
     fn task_assigned(&mut self, t: u32, q: u32) {
         let w = &mut self.waiting[q as usize];
         let pos = w.iter().position(|&x| x == t).expect("task was waiting");
@@ -190,6 +191,7 @@ impl Driver for FixedDriver<'_> {
         }
     }
 
+    // lint:allow(panic) reason="epoch_begin recorded a snapshot on this same epoch"
     fn epoch_end(&mut self, k: &KernelState) {
         if self.record {
             let snap = self.base_snaps.last_mut().expect("just recorded");
@@ -533,6 +535,7 @@ impl<'a> FixedEval<'a> {
 
     /// Time of the last valid snapshot — the boundary beyond which the
     /// lazily committed timeline has been dropped.
+    // lint:allow(panic) reason="reset() always records the time-0 snapshot"
     fn dirty_time(&self) -> SimTime {
         self.base_snaps.last().expect("baseline has snapshots").now
     }
@@ -551,6 +554,7 @@ impl<'a> FixedEval<'a> {
 
     /// Re-records the dropped timeline tail by replaying the baseline
     /// from its last valid snapshot with recording on.
+    // lint:allow(panic) reason="maybe_rebuild only runs with a baseline, which replays deterministically"
     fn rebuild_timeline(&mut self) {
         let idx = self.base_snaps.len() - 1;
         self.run_mapping.clone_from(&self.base_mapping);
@@ -694,6 +698,7 @@ impl<'a> FixedEval<'a> {
     }
 
     /// Resets the scratch state to the empty time-0 engine state.
+    // lint:allow(panic) reason="build_pred_base always pushes at least one offset"
     fn init_state(&mut self) {
         let num_pred_edges = *self.pred_base.last().expect("pred_base non-empty") as usize;
         self.k

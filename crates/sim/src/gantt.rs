@@ -83,7 +83,7 @@ impl Gantt {
     /// processor does one thing at a time). Returns the first violating
     /// pair if any.
     pub fn find_overlap(&self) -> Option<(Span, Span)> {
-        let mut per_proc: std::collections::HashMap<u32, Vec<Span>> = Default::default();
+        let mut per_proc: std::collections::BTreeMap<u32, Vec<Span>> = Default::default();
         for &s in &self.spans {
             per_proc.entry(s.proc.raw()).or_default().push(s);
         }

@@ -26,6 +26,7 @@
 //!
 //! All times are integer nanoseconds ([`SimTime`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

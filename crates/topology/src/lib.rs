@@ -23,6 +23,7 @@
 //! * [`params::CommParams`] — the message-overhead model: σ = 2S + O,
 //!   τ = 2S + H + O and the eq. 4 point-to-point cost estimate.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -12,6 +12,7 @@ use anneal_graph::{TaskGraph, TaskGraphBuilder};
 /// Rebuilds `g` with every load multiplied by `f` and every edge weight
 /// multiplied by `h` (rounding to nearest ns, with a 1 ns floor for
 /// nonzero inputs so nothing collapses to zero).
+// lint:allow(panic) reason="scaling copies the edges of an already-valid DAG"
 pub fn scale(g: &TaskGraph, f: f64, h: f64) -> TaskGraph {
     assert!(f >= 0.0 && h >= 0.0, "negative scale factor");
     let mut b = TaskGraphBuilder::with_capacity(g.num_tasks(), g.num_edges());

@@ -27,6 +27,7 @@
 //! [`stencil`] provides a wavefront workload whose parallelism ramps up
 //! and down, and [`fft::fft_butterfly`] the classic radix-2 dataflow.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -58,6 +58,7 @@ pub fn task_count(cfg: &NewtonEulerConfig) -> usize {
 }
 
 /// Builds the Newton-Euler inverse-dynamics task graph.
+// lint:allow(panic) reason="the workload generator emits forward, duplicate-free edges"
 pub fn newton_euler(cfg: &NewtonEulerConfig) -> TaskGraph {
     assert!(cfg.links >= 1, "need at least one link");
     let l = cfg.links;

@@ -54,6 +54,8 @@
 //! result.audit(&program).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use anneal_arena as arena;
 pub use anneal_core as core;
 pub use anneal_graph as graph;
