@@ -47,6 +47,7 @@ use anneal_core::cooling::CoolingSchedule;
 use anneal_core::parallel::{run_chunked_pooled, ScratchPool};
 use anneal_graph::perturb::{perturb, DagEdit, PerturbConfig};
 use anneal_graph::{textio, TaskGraph};
+use anneal_obs::{MetricsRegistry, Recorder};
 use anneal_sim::{SimError, SimScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -200,12 +201,11 @@ pub struct AdversaryOutcome {
     /// Candidate instances priced by simulation (each costing one
     /// evaluation per portfolio entry).
     pub evaluations: u64,
-    /// Candidate instances served from the content memo instead: the
-    /// proposed graph was byte-identical to an already-priced one, and
-    /// every entry's makespan is a pure function of `(instance, seed)`,
-    /// so the cached breakdown is provably the one a re-evaluation
-    /// would return.
-    pub cache_hits: u64,
+    /// Search metrics: `adversary.evaluations` / `adversary.cache_hits`
+    /// counters (deterministic-class) plus the scratch-pool and
+    /// route-table-cache counters of the search's workers
+    /// (`sched.*`-class — thread-plan dependent).
+    pub metrics: MetricsRegistry,
     /// Best-so-far ratio after each temperature step.
     pub trajectory: Vec<f64>,
 }
@@ -220,6 +220,16 @@ impl AdversaryOutcome {
             params: base.params,
             sim_cfg: base.sim_cfg.clone(),
         }
+    }
+
+    /// Candidates served from the content memo instead of a portfolio
+    /// fan-out: the proposed graph was byte-identical to an
+    /// already-priced one, and every entry's makespan is a pure
+    /// function of `(instance, seed)`, so the cached breakdown is
+    /// provably the one a re-evaluation would return. Derived from the
+    /// `adversary.cache_hits` registry counter.
+    pub fn cache_hits(&self) -> u64 {
+        self.metrics.counter("adversary.cache_hits")
     }
 }
 
@@ -296,12 +306,23 @@ pub fn adversarial_search(
         trajectory.push(best.1.ratio);
     }
 
+    // Snapshot the pool counters before draining it: the drain's own
+    // takes must not count as reuse.
+    let pool_stats = pool.stats();
+    let mut metrics = MetricsRegistry::new();
+    metrics.add("adversary.evaluations", evaluations);
+    metrics.add("adversary.cache_hits", cache_hits);
+    pool_stats.record_into(&mut metrics);
+    while !pool.is_empty() {
+        pool.take().route_cache_stats().record_into(&mut metrics);
+    }
+
     Ok(AdversaryOutcome {
         graph: best.0,
         best: best.1,
         initial,
         evaluations,
-        cache_hits,
+        metrics,
         trajectory,
     })
 }
@@ -393,8 +414,16 @@ mod tests {
         assert_eq!(a.best.ratio, b.best.ratio);
         assert_eq!(a.trajectory, b.trajectory);
         assert_eq!(a.evaluations, b.evaluations);
-        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cache_hits(), b.cache_hits());
         assert!(a.evaluations >= 1);
+        // the registry mirrors the plain counters and carries the
+        // scheduling-class pool/route counters alongside
+        assert_eq!(a.metrics.counter("adversary.evaluations"), a.evaluations);
+        assert!(a.metrics.counter("sched.pool.misses") >= 1);
+        assert!(a.metrics.counter("sched.route_cache.builds") >= 1);
+        let det = a.metrics.deterministic_only();
+        assert_eq!(det, b.metrics.deterministic_only());
+        assert!(det.counter("sched.pool.misses") == 0, "sched.* filtered");
         // trajectory is monotonically non-decreasing
         assert!(a.trajectory.windows(2).all(|w| w[0] <= w[1]));
         // the returned graph reproduces the reported ratio

@@ -25,13 +25,14 @@
 //! from the command line; `docs/ARCHITECTURE.md` shows where it sits in
 //! the crate graph.
 
-use anneal_core::parallel::run_chunked_scratch;
+use anneal_core::parallel::{run_chunked_pooled, ScratchPool};
 use anneal_graph::generate::{
     chain, fork_join, gnp_dag, independent, layered_random, series_parallel, LayeredConfig, Range,
 };
 use anneal_graph::units::us;
+use anneal_obs::{Clock, JsonlSink, MetricsRegistry, NullClock, Recorder};
 use anneal_report::Csv;
-use anneal_sim::{SimError, SimScratch};
+use anneal_sim::{KernelRunStats, SimError, SimScratch};
 use anneal_topology::builders::{binary_tree, bus, hypercube, linear, mesh, ring, star, torus};
 use anneal_topology::Topology;
 use rand::rngs::StdRng;
@@ -217,6 +218,111 @@ pub fn shard_file_name(shard: usize) -> String {
     format!("shard-{shard:03}.csv")
 }
 
+/// The canonical metrics file name for a shard
+/// (`metrics-007.jsonl`), written next to the shard CSV when the
+/// campaign runs with `--metrics`.
+pub fn shard_metrics_file_name(shard: usize) -> String {
+    format!("metrics-{shard:03}.jsonl")
+}
+
+/// One cell's observation record (an event line in the shard's
+/// metrics JSONL, never part of the science CSVs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellObs {
+    /// Global instance index (campaign column).
+    pub instance_index: usize,
+    /// Instance name.
+    pub instance: String,
+    /// Scheduler (portfolio entry) name.
+    pub scheduler: String,
+    /// The cell's makespan (ns) — identical to the CSV value.
+    pub makespan: u64,
+    /// Wall-clock time of the cell (ns); 0 under a
+    /// [`NullClock`].
+    pub wall_ns: u64,
+}
+
+/// Everything [`run_shard_observed`] learned beyond the science
+/// result: a metrics registry plus per-cell observation records.
+///
+/// Registry classes ([`anneal_obs::MetricClass`]):
+///
+/// * deterministic — `arena.cells`, the summed `sim.kernel.*` counters
+///   and the `arena.makespan_ns` histogram are pure functions of the
+///   campaign seed, identical across `--threads`, `--procs` and
+///   re-sharding once shards are merged;
+/// * `sched.*` — scratch-pool and route-cache counters depend on the
+///   thread plan;
+/// * `time.*` — wall-clock, meaningful only with a real clock.
+#[derive(Debug, Clone)]
+pub struct ShardObs {
+    /// Which shard this is.
+    pub shard: usize,
+    /// Aggregated metrics of the shard.
+    pub registry: MetricsRegistry,
+    /// Per-cell records, ordered by (entry, local column) like the
+    /// fan-out.
+    pub cells: Vec<CellObs>,
+}
+
+impl ShardObs {
+    /// The shard metrics artifact: every registry metric as one line
+    /// (see [`MetricsRegistry::write_jsonl`]) followed by one `"cell"`
+    /// event per cell. Metric lines merge back through
+    /// [`MetricsRegistry::merge_jsonl`], which skips the cell events.
+    pub fn to_jsonl(&self) -> String {
+        let mut sink = JsonlSink::new();
+        self.registry.write_jsonl(&mut sink);
+        for c in &self.cells {
+            sink.event("cell")
+                .num("instance_index", c.instance_index as u64)
+                .str("instance", &c.instance)
+                .str("scheduler", &c.scheduler)
+                .num("makespan", c.makespan)
+                .num("wall_ns", c.wall_ns)
+                .finish();
+        }
+        sink.as_str().to_string()
+    }
+}
+
+/// Parses the `"cell"` event lines back out of a shard metrics JSONL
+/// (the inverse of the cell half of [`ShardObs::to_jsonl`]); metric
+/// and other event lines are skipped. Returns an error message naming
+/// the first malformed line.
+pub fn parse_cells_jsonl(text: &str) -> Result<Vec<CellObs>, String> {
+    let mut cells = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = anneal_obs::json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if v.get("type").and_then(|t| t.as_str()) != Some("cell") {
+            continue;
+        }
+        let num = |field: &str| {
+            v.get(field)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("line {}: cell without {field}", lineno + 1))
+        };
+        let string = |field: &str| {
+            v.get(field)
+                .and_then(|x| x.as_str())
+                .map(String::from)
+                .ok_or_else(|| format!("line {}: cell without {field}", lineno + 1))
+        };
+        cells.push(CellObs {
+            instance_index: num("instance_index")? as usize,
+            instance: string("instance")?,
+            scheduler: string("scheduler")?,
+            makespan: num("makespan")?,
+            wall_ns: num("wall_ns")?,
+        });
+    }
+    Ok(cells)
+}
+
 /// Runs shard `shard` of the campaign: generates exactly this shard's
 /// instances and evaluates every portfolio entry on each, in parallel.
 ///
@@ -230,6 +336,26 @@ pub fn run_shard(
     cfg: &CampaignConfig,
     shard: usize,
 ) -> Result<ShardResult, SimError> {
+    run_shard_observed(portfolio, cfg, shard, &NullClock).map(|(result, _)| result)
+}
+
+/// [`run_shard`] that additionally aggregates a [`ShardObs`]: summed
+/// kernel counters, scratch-pool / route-cache statistics and per-cell
+/// wall time read from `clock`.
+///
+/// The science half of the return value is **exactly** what
+/// [`run_shard`] produces (which is implemented as this function under
+/// a [`NullClock`]): observation never touches cell seeds, the RNG
+/// streams or the fan-out layout. Pass a
+/// [`WallClock`](anneal_obs::WallClock) for real `time.*` metrics or a
+/// `NullClock` for the deterministic CI mode, where every `wall_ns`
+/// is 0 and the whole artifact is byte-reproducible.
+pub fn run_shard_observed(
+    portfolio: &Portfolio,
+    cfg: &CampaignConfig,
+    shard: usize,
+    clock: &(dyn Clock + Sync),
+) -> Result<(ShardResult, ShardObs), SimError> {
     cfg.validate();
     assert!(!portfolio.is_empty(), "empty portfolio");
     let columns = shard_columns(cfg.instances, cfg.shards, shard);
@@ -239,27 +365,59 @@ pub fn run_shard(
         .collect();
     let rows = portfolio.len();
     let cols = columns.len();
-    let cells: Vec<Result<u64, SimError>> = run_chunked_scratch(
-        rows * cols,
-        cfg.max_threads,
-        SimScratch::new,
-        |scratch, k| {
+    let shard_start = clock.now_ns();
+    let pool: ScratchPool<SimScratch> = ScratchPool::new();
+    let cells: Vec<Result<(u64, u64, KernelRunStats), SimError>> =
+        run_chunked_pooled(rows * cols, cfg.max_threads, &pool, |scratch, k| {
             let (e, c) = (k / cols, k % cols);
             let seed = cell_seed(cfg.base_seed, e as u64, columns[c] as u64);
-            portfolio.entries()[e].evaluate_makespan(&instances[c], seed, scratch)
-        },
-    );
+            let start = clock.now_ns();
+            let makespan =
+                portfolio.entries()[e].evaluate_makespan(&instances[c], seed, scratch)?;
+            let wall_ns = clock.now_ns().saturating_sub(start);
+            Ok((makespan, wall_ns, scratch.last_run_stats()))
+        });
+    let shard_ns = clock.now_ns().saturating_sub(shard_start);
+
+    let mut registry = MetricsRegistry::new();
+    let mut obs_cells = Vec::with_capacity(rows * cols);
     let mut makespans = vec![vec![0u64; rows]; cols];
     for (k, cell) in cells.into_iter().enumerate() {
-        makespans[k % cols][k / cols] = cell?;
+        let (e, c) = (k / cols, k % cols);
+        let (makespan, wall_ns, stats) = cell?;
+        makespans[c][e] = makespan;
+        registry.add("arena.cells", 1);
+        registry.observe("arena.makespan_ns", makespan);
+        registry.observe("time.cell_ns", wall_ns);
+        stats.record_into(&mut registry);
+        obs_cells.push(CellObs {
+            instance_index: columns[c],
+            instance: instances[c].name.clone(),
+            scheduler: portfolio.entries()[e].name().to_string(),
+            makespan,
+            wall_ns,
+        });
     }
-    Ok(ShardResult {
+    registry.add("time.shard_ns", shard_ns);
+    // Snapshot before draining: the drain's takes must not count.
+    pool.stats().record_into(&mut registry);
+    while !pool.is_empty() {
+        pool.take().route_cache_stats().record_into(&mut registry);
+    }
+
+    let result = ShardResult {
         shard,
         schedulers: portfolio.names(),
         columns,
         instances: instances.into_iter().map(|i| i.name).collect(),
         makespans,
-    })
+    };
+    let obs = ShardObs {
+        shard,
+        registry,
+        cells: obs_cells,
+    };
+    Ok((result, obs))
 }
 
 #[cfg(test)]
@@ -402,6 +560,69 @@ mod tests {
             merged_split.standings_csv().as_str()
         );
         assert_eq!(merged_whole.num_instances(), 6);
+    }
+
+    #[test]
+    fn observation_never_changes_science_and_is_reshard_invariant() {
+        let p = tiny_portfolio();
+        let base = CampaignConfig {
+            instances: 6,
+            shards: 2,
+            base_seed: 13,
+            max_threads: 1,
+        };
+        // metrics on vs off: byte-identical science CSVs
+        let plain = run_shard(&p, &base, 0).unwrap();
+        let (observed, obs) = run_shard_observed(&p, &base, 0, &NullClock).unwrap();
+        assert_eq!(
+            plain.to_csv().as_str(),
+            observed.to_csv().as_str(),
+            "observation changed the science artifact"
+        );
+        // the registry sums are real and the cells mirror the CSV
+        assert_eq!(obs.registry.counter("arena.cells"), 3 * 3);
+        assert!(obs.registry.counter("sim.kernel.events") > 0);
+        assert_eq!(obs.cells.len(), 9);
+        for c in &obs.cells {
+            assert_eq!(c.wall_ns, 0, "NullClock must observe zero wall time");
+            let col = observed.columns.iter().position(|&j| j == c.instance_index);
+            let e = observed.schedulers.iter().position(|s| s == &c.scheduler);
+            assert_eq!(
+                observed.makespans[col.unwrap()][e.unwrap()],
+                c.makespan,
+                "cell event diverges from the CSV"
+            );
+        }
+        // NullClock artifacts are byte-reproducible, and cell events
+        // round-trip through the parser
+        let (_, again) = run_shard_observed(&p, &base, 0, &NullClock).unwrap();
+        assert_eq!(obs.to_jsonl(), again.to_jsonl());
+        assert_eq!(parse_cells_jsonl(&obs.to_jsonl()).unwrap(), obs.cells);
+        assert!(parse_cells_jsonl("not json").is_err());
+
+        // merged deterministic metrics are invariant under re-sharding
+        // and thread caps (sched.*/time.* are excluded by design)
+        let merge = |shards: usize, threads: usize| {
+            let cfg = CampaignConfig {
+                shards,
+                max_threads: threads,
+                ..base.clone()
+            };
+            let mut reg = MetricsRegistry::new();
+            for s in 0..shards {
+                let (_, o) = run_shard_observed(&p, &cfg, s, &NullClock).unwrap();
+                reg.merge_jsonl(&o.to_jsonl()).unwrap();
+            }
+            reg.deterministic_only()
+        };
+        let one = merge(1, 1);
+        let three = merge(3, 0);
+        assert_eq!(one, three, "deterministic metrics depend on sharding");
+        assert_eq!(one.counter("arena.cells"), 18);
+        assert_eq!(
+            one.histogram("arena.makespan_ns").map(|h| h.count()),
+            Some(18)
+        );
     }
 
     #[test]

@@ -81,8 +81,9 @@ pub use adversary::{
     RatioBreakdown,
 };
 pub use campaign::{
-    campaign_instance, campaign_instances, run_shard, shard_columns, shard_file_name,
-    CampaignConfig, ShardResult,
+    campaign_instance, campaign_instances, parse_cells_jsonl, run_shard, run_shard_observed,
+    shard_columns, shard_file_name, shard_metrics_file_name, CampaignConfig, CellObs, ShardObs,
+    ShardResult,
 };
 pub use corpus::{
     load_corpus_dir, parse_params, parse_topology, regression_seed, CorpusError, FrozenInstance,
@@ -90,4 +91,4 @@ pub use corpus::{
 };
 pub use instance::{paper_instances, smoke_instances, standard_instances, ArenaInstance};
 pub use portfolio::{MappedSchedule, Portfolio, PortfolioEntry};
-pub use tournament::{run_tournament, TournamentConfig, TournamentResult};
+pub use tournament::{run_tournament, run_tournament_observed, TournamentConfig, TournamentResult};

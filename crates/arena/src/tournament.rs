@@ -13,8 +13,10 @@
 //! mapped entries (whole-graph static SA) additionally price their
 //! annealing moves through `anneal-core`'s incremental evaluator.
 
-use anneal_core::parallel::run_chunked_scratch;
+use anneal_core::parallel::{run_chunked_pooled, ScratchPool};
+use anneal_obs::{Clock, MetricsRegistry, NullClock, Recorder};
 use anneal_report::{render_win_loss_matrix, Csv, WinLossOptions};
+use anneal_sim::KernelRunStats;
 use anneal_sim::SimError;
 use anneal_sim::SimScratch;
 
@@ -170,29 +172,66 @@ pub fn run_tournament(
     instances: &[ArenaInstance],
     cfg: &TournamentConfig,
 ) -> Result<TournamentResult, SimError> {
+    run_tournament_observed(portfolio, instances, cfg, &NullClock).map(|(result, _)| result)
+}
+
+/// [`run_tournament`] that additionally aggregates a metrics registry:
+/// summed kernel counters and an `arena.makespan_ns` histogram
+/// (deterministic-class), scratch-pool / route-cache counters
+/// (`sched.*`) and wall time (`time.cell_ns` / `time.total_ns`) read
+/// from `clock`.
+///
+/// The science half is **exactly** what [`run_tournament`] produces
+/// (which delegates here under a [`NullClock`]):
+/// observation never touches cell seeds or the fan-out layout.
+pub fn run_tournament_observed(
+    portfolio: &Portfolio,
+    instances: &[ArenaInstance],
+    cfg: &TournamentConfig,
+    clock: &(dyn Clock + Sync),
+) -> Result<(TournamentResult, MetricsRegistry), SimError> {
     assert!(!portfolio.is_empty(), "empty portfolio");
     assert!(!instances.is_empty(), "no instances");
     let rows = portfolio.len();
     let cols = instances.len();
-    let cells: Vec<Result<u64, SimError>> = run_chunked_scratch(
-        rows * cols,
-        cfg.max_threads,
-        SimScratch::new,
-        |scratch, k| {
+    let start = clock.now_ns();
+    let pool: ScratchPool<SimScratch> = ScratchPool::new();
+    let cells: Vec<Result<(u64, u64, KernelRunStats), SimError>> =
+        run_chunked_pooled(rows * cols, cfg.max_threads, &pool, |scratch, k| {
             let (i, j) = (k / cols, k % cols);
             let seed = cell_seed(cfg.base_seed, i as u64, j as u64);
-            portfolio.entries()[i].evaluate_makespan(&instances[j], seed, scratch)
-        },
-    );
+            let cell_start = clock.now_ns();
+            let makespan =
+                portfolio.entries()[i].evaluate_makespan(&instances[j], seed, scratch)?;
+            let wall_ns = clock.now_ns().saturating_sub(cell_start);
+            Ok((makespan, wall_ns, scratch.last_run_stats()))
+        });
+    let total_ns = clock.now_ns().saturating_sub(start);
+
+    let mut registry = MetricsRegistry::new();
     let mut makespans = vec![vec![0u64; cols]; rows];
     for (k, cell) in cells.into_iter().enumerate() {
-        makespans[k / cols][k % cols] = cell?;
+        let (makespan, wall_ns, stats) = cell?;
+        makespans[k / cols][k % cols] = makespan;
+        registry.add("arena.cells", 1);
+        registry.observe("arena.makespan_ns", makespan);
+        registry.observe("time.cell_ns", wall_ns);
+        stats.record_into(&mut registry);
     }
-    Ok(TournamentResult {
-        schedulers: portfolio.names(),
-        instances: instances.iter().map(|i| i.name.clone()).collect(),
-        makespans,
-    })
+    registry.add("time.total_ns", total_ns);
+    // Snapshot before draining: the drain's takes must not count.
+    pool.stats().record_into(&mut registry);
+    while !pool.is_empty() {
+        pool.take().route_cache_stats().record_into(&mut registry);
+    }
+    Ok((
+        TournamentResult {
+            schedulers: portfolio.names(),
+            instances: instances.iter().map(|i| i.name.clone()).collect(),
+            makespans,
+        },
+        registry,
+    ))
 }
 
 #[cfg(test)]
@@ -245,6 +284,34 @@ mod tests {
         assert_ne!(s, cell_seed(42, 1, 0));
         assert_ne!(s, cell_seed(43, 0, 0));
         assert_eq!(s, cell_seed(42, 0, 0));
+    }
+
+    #[test]
+    fn observed_tournament_matches_plain_and_yields_metrics() {
+        let p = Portfolio::fast();
+        let insts = smoke_instances(2);
+        let cfg = TournamentConfig {
+            base_seed: 7,
+            max_threads: 1,
+        };
+        let plain = run_tournament(&p, &insts, &cfg).unwrap();
+        let (observed, reg) = run_tournament_observed(&p, &insts, &cfg, &NullClock).unwrap();
+        assert_eq!(plain.makespans, observed.makespans);
+        assert_eq!(reg.counter("arena.cells"), (p.len() * 2) as u64);
+        assert!(reg.counter("sim.kernel.events") > 0);
+        assert!(reg.counter("sched.pool.misses") >= 1);
+        // deterministic view is thread-cap invariant
+        let (_, par) = run_tournament_observed(
+            &p,
+            &insts,
+            &TournamentConfig {
+                base_seed: 7,
+                max_threads: 0,
+            },
+            &NullClock,
+        )
+        .unwrap();
+        assert_eq!(reg.deterministic_only(), par.deterministic_only());
     }
 
     #[test]

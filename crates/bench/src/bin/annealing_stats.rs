@@ -4,6 +4,7 @@
 //! free processors."
 
 use anneal_core::{SaConfig, SaScheduler};
+use anneal_obs::{MetricsRegistry, Recorder as _};
 use anneal_report::{csv::f, Table};
 use anneal_sim::{simulate, SimConfig};
 use anneal_topology::builders::paper_architectures;
@@ -25,6 +26,7 @@ fn main() {
         "Annealing-process statistics (paper, NE: 95 tasks, 65 packets, 15 cand / 1.46 idle)",
     );
 
+    let mut totals = MetricsRegistry::new();
     for (name, g) in paper_workloads() {
         for topo in paper_architectures() {
             let mut sa = SaScheduler::new(SaConfig::default());
@@ -37,6 +39,8 @@ fn main() {
             )
             .expect("simulation");
             let st = &sa.stats;
+            st.record_into(&mut totals);
+            totals.add("runs", 1);
             table.row(vec![
                 name.to_string(),
                 topo.name().to_string(),
@@ -44,11 +48,20 @@ fn main() {
                 st.packets.to_string(),
                 f(st.avg_candidates(), 2),
                 f(st.avg_idle(), 2),
-                f(st.iterations as f64 / st.packets as f64, 1),
+                f(st.iterations_per_packet(), 1),
                 f(st.acceptance_rate(), 2),
             ]);
         }
         table.separator();
     }
     print!("{}", table.render());
+    println!(
+        "totals: {} runs, {} packets, {} iterations, {} moves ({} accepted), {} tasks assigned",
+        totals.counter("runs"),
+        totals.counter("sa.packets"),
+        totals.counter("sa.iterations"),
+        totals.counter("sa.moves"),
+        totals.counter("sa.accepted"),
+        totals.counter("sa.assigned"),
+    );
 }

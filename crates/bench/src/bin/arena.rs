@@ -23,11 +23,19 @@
 //! * `--evaluator` — how static SA prices its annealing moves
 //!   (default `incremental`). Both kinds produce byte-identical
 //!   artifacts — CI runs the tournament under each and diffs the CSVs.
+//! * `--metrics PATH` — additionally write the tournament's
+//!   `anneal-obs` registry (JSON) to `PATH` and its
+//!   deterministic-class view to `PATH.det.json`. Observation never
+//!   changes the science artifacts.
+//! * `--null-clock` — record metrics with the deterministic
+//!   `NullClock` (every `time.*` value 0), making the metrics files
+//!   byte-reproducible too.
 
 use anneal_arena::{
-    paper_instances, run_tournament, standard_instances, Portfolio, TournamentConfig,
+    paper_instances, run_tournament_observed, standard_instances, Portfolio, TournamentConfig,
 };
 use anneal_core::EvaluatorKind;
+use anneal_obs::{Clock, NullClock, WallClock};
 use anneal_report::csv::f;
 use anneal_report::Table;
 
@@ -35,6 +43,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut evaluator = EvaluatorKind::default();
     let mut threads = 0usize;
+    let mut metrics: Option<std::path::PathBuf> = None;
+    let mut null_clock = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -49,6 +59,12 @@ fn main() {
                 let t = it.next().and_then(|v| v.parse().ok());
                 threads = t.expect("--threads needs a thread count");
             }
+            "--metrics" => {
+                metrics = Some(std::path::PathBuf::from(
+                    it.next().expect("--metrics needs a path"),
+                ));
+            }
+            "--null-clock" => null_clock = true,
             a if a.starts_with("--") => {} // handled below
             _ => positional.push(arg),
         }
@@ -63,13 +79,16 @@ fn main() {
         instances.extend(paper_instances());
     }
 
-    let result = run_tournament(
+    let wall = WallClock::new();
+    let clock: &(dyn Clock + Sync) = if null_clock { &NullClock } else { &wall };
+    let (result, registry) = run_tournament_observed(
         &portfolio,
         &instances,
         &TournamentConfig {
             base_seed: seed,
             max_threads: threads,
         },
+        clock,
     )
     .expect("tournament run failed");
 
@@ -103,4 +122,13 @@ fn main() {
     std::fs::write(&svg_path, result.win_loss_svg()).expect("write svg");
     println!("wrote {}", csv_path.display());
     println!("wrote {}", svg_path.display());
+
+    if let Some(path) = &metrics {
+        std::fs::write(path, registry.to_json()).expect("write metrics");
+        let det_path = path.with_extension("det.json");
+        std::fs::write(&det_path, registry.deterministic_only().to_json())
+            .expect("write deterministic metrics view");
+        println!("wrote {}", path.display());
+        println!("wrote {}", det_path.display());
+    }
 }

@@ -27,7 +27,8 @@
 //!
 //! Usage: `campaign [instances] [shards] [seed] [--full] [--shard K]
 //! [--procs N] [--threads T] [--merge-only] [--no-merge] [--dir PATH]
-//! [--evaluator {full,incremental}]`
+//! [--evaluator {full,incremental}] [--metrics PATH] [--null-clock]
+//! [--progress]`
 //!
 //! * `instances` — family size (default 1000).
 //! * `shards` — shard count (default 8).
@@ -52,13 +53,31 @@
 //!   its annealing moves (default `incremental`). The choice never
 //!   changes a cell value, so artifacts merge identically either way;
 //!   it is still stamped into `campaign.meta` for provenance.
+//! * `--metrics PATH` — observe the campaign through `anneal-obs`:
+//!   every shard additionally writes `metrics-<k>.jsonl` (registry
+//!   lines plus one `cell` event per cell) into the campaign
+//!   directory, and the merge step combines them into the merged
+//!   registry at `PATH`, its deterministic-class view at
+//!   `PATH.det.json` (what CI compares across `--procs`/re-sharding),
+//!   and a text + SVG time-share summary next to it. Observation
+//!   never changes the science CSVs — cells, seeds and RNG streams
+//!   are untouched — so `--metrics` is deliberately **not** part of
+//!   the provenance stamp.
+//! * `--null-clock` — record metrics with the deterministic
+//!   `NullClock` (every `time.*` value 0), making the metrics
+//!   artifacts themselves byte-reproducible.
+//! * `--progress` — per-shard heartbeat lines on stderr.
 
 use std::path::PathBuf;
 use std::process::{Child, Command};
 
-use anneal_arena::{run_shard, shard_file_name, CampaignConfig, Portfolio};
+use anneal_arena::{
+    parse_cells_jsonl, run_shard_observed, shard_file_name, shard_metrics_file_name,
+    CampaignConfig, Portfolio,
+};
 use anneal_core::EvaluatorKind;
-use anneal_report::{merge_shard_csvs, Table};
+use anneal_obs::{Clock, MetricsRegistry, NullClock, WallClock};
+use anneal_report::{merge_shard_csvs, CellSample, Table};
 
 struct Args {
     cfg: CampaignConfig,
@@ -69,6 +88,9 @@ struct Args {
     merge_only: bool,
     no_merge: bool,
     dir: PathBuf,
+    metrics: Option<PathBuf>,
+    null_clock: bool,
+    progress: bool,
 }
 
 fn parse_args() -> Args {
@@ -82,12 +104,20 @@ fn parse_args() -> Args {
     let mut merge_only = false;
     let mut no_merge = false;
     let mut dir = PathBuf::from("results/campaign");
+    let mut metrics = None;
+    let mut null_clock = false;
+    let mut progress = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => full = true,
             "--merge-only" => merge_only = true,
             "--no-merge" => no_merge = true,
+            "--null-clock" => null_clock = true,
+            "--progress" => progress = true,
+            "--metrics" => {
+                metrics = Some(PathBuf::from(it.next().expect("--metrics needs a path")));
+            }
             "--shard" => {
                 let k = it.next().and_then(|v| v.parse().ok());
                 only_shard = Some(k.expect("--shard needs an index"));
@@ -130,6 +160,9 @@ fn parse_args() -> Args {
         merge_only,
         no_merge,
         dir,
+        metrics,
+        null_clock,
+        progress,
     }
 }
 
@@ -185,6 +218,16 @@ fn run_multiprocess(args: &Args) {
         ];
         if args.full {
             v.push("--full".into());
+        }
+        if let Some(path) = &args.metrics {
+            v.push("--metrics".into());
+            v.push(path.display().to_string());
+        }
+        if args.null_clock {
+            v.push("--null-clock".into());
+        }
+        if args.progress {
+            v.push("--progress".into());
         }
         v
     };
@@ -257,13 +300,19 @@ fn main() {
                 }
                 None => (0..args.cfg.shards).collect(),
             };
+            let wall = WallClock::new();
+            let clock: &(dyn Clock + Sync) = if args.null_clock { &NullClock } else { &wall };
             for k in shards {
                 let path = args.dir.join(shard_file_name(k));
                 if path.exists() {
                     println!("shard {k}: {} exists, skipping (resume)", path.display());
                     continue;
                 }
-                let r = run_shard(&portfolio, &args.cfg, k).expect("shard run failed");
+                if args.progress {
+                    eprintln!("[campaign] shard {k}: starting");
+                }
+                let (r, obs) =
+                    run_shard_observed(&portfolio, &args.cfg, k, clock).expect("shard run failed");
                 // Write-then-rename: a campaign killed mid-write must
                 // never leave a truncated shard artifact behind — the
                 // resume path skips any existing `shard-<k>.csv` as
@@ -271,6 +320,19 @@ fn main() {
                 let tmp = path.with_extension("csv.tmp");
                 r.to_csv().write_to(&tmp).expect("write shard csv");
                 std::fs::rename(&tmp, &path).expect("publish shard csv");
+                if args.metrics.is_some() {
+                    let mpath = args.dir.join(shard_metrics_file_name(k));
+                    let mtmp = mpath.with_extension("jsonl.tmp");
+                    std::fs::write(&mtmp, obs.to_jsonl()).expect("write shard metrics");
+                    std::fs::rename(&mtmp, &mpath).expect("publish shard metrics");
+                }
+                if args.progress {
+                    eprintln!(
+                        "[campaign] shard {k}: done, {} cells in {:.1} ms",
+                        obs.cells.len(),
+                        obs.registry.counter("time.shard_ns") as f64 / 1e6
+                    );
+                }
                 println!(
                     "shard {k}: {} instances x {} schedulers -> {}",
                     r.columns.len(),
@@ -339,4 +401,69 @@ fn main() {
     print!("{}", table.render());
     println!("wrote {}", matrix_path.display());
     println!("wrote {}", standings_path.display());
+
+    if let Some(metrics_path) = &args.metrics {
+        merge_metrics(&args, metrics_path);
+    }
+}
+
+/// Merges every present `metrics-<k>.jsonl` into the campaign
+/// registry, then writes the full registry, its deterministic-class
+/// view and the time-share summary (text + SVG). Shards resumed from a
+/// pre-`--metrics` run have no metrics artifact; they are reported and
+/// skipped rather than failing the merge.
+fn merge_metrics(args: &Args, metrics_path: &std::path::Path) {
+    let mut registry = MetricsRegistry::new();
+    let mut cells = Vec::new();
+    let mut missing = Vec::new();
+    for k in 0..args.cfg.shards {
+        let path = args.dir.join(shard_metrics_file_name(k));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                registry
+                    .merge_jsonl(&text)
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                cells.extend(
+                    parse_cells_jsonl(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display())),
+                );
+            }
+            Err(_) => missing.push(k),
+        }
+    }
+    if !missing.is_empty() {
+        println!(
+            "metrics merge: {} shard metrics files absent (shards {missing:?} \
+             resumed from a run without --metrics)",
+            missing.len()
+        );
+    }
+    std::fs::write(metrics_path, registry.to_json()).expect("write merged metrics");
+    let det_path = metrics_path.with_extension("det.json");
+    std::fs::write(&det_path, registry.deterministic_only().to_json())
+        .expect("write deterministic metrics view");
+
+    // Cell events feed the human-facing summary. Sort for a
+    // deterministic artifact regardless of shard visit order.
+    cells.sort_by(|a, b| (a.instance_index, &a.scheduler).cmp(&(b.instance_index, &b.scheduler)));
+    let samples: Vec<CellSample> = cells
+        .iter()
+        .map(|c| CellSample {
+            scheduler: c.scheduler.clone(),
+            instance: c.instance.clone(),
+            wall_ns: c.wall_ns,
+        })
+        .collect();
+    let summary_path = metrics_path.with_extension("summary.txt");
+    std::fs::write(
+        &summary_path,
+        anneal_report::render_metrics_summary(&samples, 10),
+    )
+    .expect("write metrics summary");
+    let svg_path = metrics_path.with_extension("timeshare.svg");
+    std::fs::write(&svg_path, anneal_report::render_time_share_svg(&samples))
+        .expect("write time-share svg");
+    println!("wrote {}", metrics_path.display());
+    println!("wrote {}", det_path.display());
+    println!("wrote {}", summary_path.display());
+    println!("wrote {}", svg_path.display());
 }

@@ -5,10 +5,13 @@
 //! Runs NE on the hypercube with trace recording, picks the packet with
 //! the most candidates (the paper shows a "rich" packet with a long
 //! trajectory), renders an ASCII chart and writes
-//! `results/figure1.csv` with every sample.
+//! `results/figure1.csv` with every sample of the chosen packet plus
+//! `results/figure1.jsonl` with every sample of *every* packet (the
+//! `anneal-obs` trace-event export).
 
 use anneal_bench::results_dir;
 use anneal_core::{SaConfig, SaScheduler};
+use anneal_obs::JsonlSink;
 use anneal_report::{csv::f, Chart, Csv, Series};
 use anneal_sim::{simulate, SimConfig};
 use anneal_topology::builders::hypercube;
@@ -65,10 +68,10 @@ fn main() {
     // cost decreasing from below, and the weighted sum in between.
     let fb: Vec<f64> = trace.samples.iter().map(|s| s.f_b_raw / 1_000.0).collect();
     let fc: Vec<f64> = trace.samples.iter().map(|s| s.f_c_raw / 1_000.0).collect();
-    let ft: Vec<f64> = fb
+    let ft: Vec<f64> = trace
+        .samples
         .iter()
-        .zip(&fc)
-        .map(|(&b, &c)| 0.5 * b + 0.5 * c)
+        .map(|s| s.weighted_raw(0.5, 0.5) / 1_000.0)
         .collect();
     let mut chart = Chart::new(100, 28).with_labels("iterations", "cost (us)");
     chart.add(Series::new("Comm. Cost Fc", 'c', fc));
@@ -101,6 +104,21 @@ fn main() {
     }
     let path = results_dir().join("figure1.csv");
     csv.write_to(&path).expect("write csv");
+
+    // Full trace export: one JSONL event per sample of every packet,
+    // for ad-hoc analysis beyond the single charted packet.
+    let mut sink = JsonlSink::new();
+    for t in &sa.traces {
+        t.export_jsonl(&mut sink);
+    }
+    let jsonl_path = results_dir().join("figure1.jsonl");
+    std::fs::write(&jsonl_path, sink.as_str()).expect("write jsonl");
+    println!(
+        "wrote {} ({} packets, {} samples)",
+        jsonl_path.display(),
+        sa.traces.len(),
+        sa.traces.iter().map(|t| t.samples.len()).sum::<usize>()
+    );
     println!(
         "run: makespan {:.1} us, speedup {:.2}; wrote {}",
         result.makespan_us(),

@@ -78,4 +78,6 @@ pub use eval::{level_dispatch_order, replay_mapping, Evaluator, EvaluatorKind};
 pub use heft::HeftScheduler;
 pub use hlf::HlfScheduler;
 pub use mct::MctScheduler;
+pub use parallel::{PoolStats, ScratchPool};
 pub use sa::{SaConfig, SaScheduler, SaStats};
+pub use trace::{PacketTrace, TraceSample};

@@ -130,13 +130,48 @@ where
 /// created.
 #[derive(Debug)]
 pub struct ScratchPool<S> {
-    pool: std::sync::Mutex<Vec<S>>,
+    pool: std::sync::Mutex<PoolInner<S>>,
+}
+
+#[derive(Debug)]
+struct PoolInner<S> {
+    items: Vec<S>,
+    stats: PoolStats,
+}
+
+/// Hit/miss statistics of a [`ScratchPool`].
+///
+/// A *hit* reuses a warmed scratch; a *miss* builds a fresh default
+/// one. The split between them depends on how many workers raced for
+/// the pool, so these are [`Scheduling`](anneal_obs::MetricClass::Scheduling)-class
+/// metrics (`sched.pool.*`): excluded from cross-`--threads`
+/// invariance checks. (Route-table rebuilds are counted separately,
+/// inside each scratch — see `anneal_sim::RouteCacheStats` — because a
+/// pool miss costs one warm-up while a route rebuild recurs per
+/// topology switch.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from the pool (warm scratch reused).
+    pub hits: u64,
+    /// Takes that fell back to `Default` (cold scratch built).
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Accumulates these statistics into `r` (`sched.pool.*` counters).
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("sched.pool.hits", self.hits);
+        r.add("sched.pool.misses", self.misses);
+    }
 }
 
 impl<S> Default for ScratchPool<S> {
     fn default() -> Self {
         ScratchPool {
-            pool: std::sync::Mutex::new(Vec::new()),
+            pool: std::sync::Mutex::new(PoolInner {
+                items: Vec::new(),
+                stats: PoolStats::default(),
+            }),
         }
     }
 }
@@ -150,28 +185,45 @@ impl<S: Default> ScratchPool<S> {
     /// Takes a pooled (warm) scratch, or a fresh default one.
     // lint:allow(panic) reason="pool users do not panic while holding the lock"
     pub fn take(&self) -> S {
-        self.pool
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        let mut inner = self.pool.lock().expect("scratch pool poisoned");
+        match inner.items.pop() {
+            Some(s) => {
+                inner.stats.hits += 1;
+                s
+            }
+            None => {
+                inner.stats.misses += 1;
+                drop(inner);
+                S::default()
+            }
+        }
     }
 
     /// Returns a scratch to the pool for the next fan-out.
     // lint:allow(panic) reason="pool users do not panic while holding the lock"
     pub fn put(&self, s: S) {
-        self.pool.lock().expect("scratch pool poisoned").push(s);
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .items
+            .push(s);
     }
 
     /// Number of pooled scratches (diagnostics).
     // lint:allow(panic) reason="pool users do not panic while holding the lock"
     pub fn len(&self) -> usize {
-        self.pool.lock().expect("scratch pool poisoned").len()
+        self.pool.lock().expect("scratch pool poisoned").items.len()
     }
 
     /// `true` when no scratch is pooled.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Hit/miss statistics accumulated since construction.
+    // lint:allow(panic) reason="pool users do not panic while holding the lock"
+    pub fn stats(&self) -> PoolStats {
+        self.pool.lock().expect("scratch pool poisoned").stats
     }
 }
 
@@ -200,6 +252,17 @@ pub struct RestartOutcome {
     pub seed: u64,
     /// Makespan of every seed, in input order.
     pub all_makespans: Vec<u64>,
+}
+
+impl RestartOutcome {
+    /// Accumulates the sweep into `r`: an `sa.restarts` counter plus
+    /// the winning run's kernel counters. Restart *outcomes* are
+    /// thread-count-independent (each seed's run is sequential), so
+    /// everything recorded here is deterministic-class.
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("sa.restarts", self.all_makespans.len() as u64);
+        self.result.obs.record_into(r);
+    }
 }
 
 /// Runs one full SA schedule per seed (in parallel, capped at the
@@ -465,6 +528,19 @@ mod tests {
             total += pool.take().len();
         }
         assert_eq!(total, 24);
+        // every take was counted: 3 fan-outs plus the drain above
+        let stats = pool.stats();
+        assert!(stats.hits >= 1, "at least one warm reuse across rounds");
+        assert!(stats.misses >= 1, "the first take is always cold");
+        let mut reg = anneal_obs::MetricsRegistry::new();
+        stats.record_into(&mut reg);
+        assert_eq!(reg.counter("sched.pool.hits"), stats.hits);
+        assert_eq!(reg.counter("sched.pool.misses"), stats.misses);
+        use anneal_obs::MetricClass;
+        assert_eq!(
+            anneal_obs::class_of("sched.pool.hits"),
+            MetricClass::Scheduling
+        );
     }
 
     #[test]

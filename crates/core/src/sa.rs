@@ -120,6 +120,15 @@ impl SaStats {
         }
     }
 
+    /// Mean temperature iterations per packet.
+    pub fn iterations_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.packets as f64
+        }
+    }
+
     /// Mean accepted-move rate.
     pub fn acceptance_rate(&self) -> f64 {
         if self.moves == 0 {
@@ -127,6 +136,18 @@ impl SaStats {
         } else {
             self.accepted as f64 / self.moves as f64
         }
+    }
+
+    /// Accumulates this run into `r` (`sa.*` counters). Deterministic:
+    /// every field is a pure function of graph, topology and seed.
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("sa.packets", self.packets);
+        r.add("sa.iterations", self.iterations);
+        r.add("sa.moves", self.moves);
+        r.add("sa.accepted", self.accepted);
+        r.add("sa.candidates", self.candidates);
+        r.add("sa.idle", self.idle);
+        r.add("sa.assigned", self.assigned);
     }
 }
 
@@ -315,6 +336,8 @@ mod tests {
         assert!(s.stats.avg_candidates() >= 1.0);
         assert!(s.stats.avg_idle() >= 1.0);
         assert!(s.stats.acceptance_rate() > 0.0 && s.stats.acceptance_rate() <= 1.0);
+        assert!(s.stats.iterations_per_packet() >= 1.0);
+        assert_eq!(SaStats::default().iterations_per_packet(), 0.0);
     }
 
     #[test]

@@ -96,6 +96,32 @@ pub struct StaticSaOutcome {
     pub evaluations: u64,
     /// Temperature steps executed.
     pub iterations: u64,
+    /// Moves proposed (Boltzmann acceptance tests run).
+    pub proposed: u64,
+    /// Moves accepted.
+    pub accepted: u64,
+}
+
+impl StaticSaOutcome {
+    /// Fraction of proposed moves accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+
+    /// Accumulates this run into `r` (`static_sa.*` counters, plus the
+    /// simulation counters of the winning replay via
+    /// [`RunObs::record_into`](anneal_sim::RunObs::record_into)).
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("static_sa.evaluations", self.evaluations);
+        r.add("static_sa.iterations", self.iterations);
+        r.add("static_sa.proposed", self.proposed);
+        r.add("static_sa.accepted", self.accepted);
+        self.result.obs.record_into(r);
+    }
 }
 
 /// Anneals a complete mapping of `g` onto `topo`, pricing every move
@@ -139,10 +165,13 @@ pub fn static_sa(
 
     let mut stable = 0u64;
     let mut k = 0u64;
+    let mut proposed = 0u64;
+    let mut accepted_moves = 0u64;
     while k < cfg.max_iters && stable < cfg.stable_iters {
         let temp = cfg.cooling.temperature(k);
         let mut changed = false;
         for _ in 0..moves_per_temp {
+            proposed += 1;
             // Move: relocate one task, or swap two tasks' processors.
             let a = rng.gen_range(0..n);
             let (mv, cand_makespan);
@@ -169,6 +198,7 @@ pub fn static_sa(
             let cand_cost = cand_makespan as f64 / norm;
             let delta = cand_cost - cur_cost;
             if accept(cfg.acceptance, delta, temp, &mut rng) {
+                accepted_moves += 1;
                 evaluator.commit();
                 match mv {
                     Mv::Relocate(p) => mapping[a] = ProcId::from_index(p),
@@ -198,6 +228,8 @@ pub fn static_sa(
         mapping: best.1,
         evaluations,
         iterations: k,
+        proposed,
+        accepted: accepted_moves,
     })
 }
 
@@ -280,6 +312,31 @@ mod tests {
         assert_eq!(a.result.makespan, b.result.makespan);
         assert_eq!(a.mapping, b.mapping);
         assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.proposed, b.proposed);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn counters_are_consistent_and_recordable() {
+        let g = small_graph();
+        let topo = hypercube(2);
+        let out = static_sa(
+            &g,
+            &topo,
+            &CommParams::paper(),
+            &SimConfig::default(),
+            &quick_cfg(3),
+        )
+        .unwrap();
+        // one evaluation for the initial mapping, one per proposed move
+        assert_eq!(out.evaluations, out.proposed + 1);
+        assert!(out.accepted <= out.proposed);
+        assert!((0.0..=1.0).contains(&out.acceptance_rate()));
+        let mut reg = anneal_obs::MetricsRegistry::new();
+        out.record_into(&mut reg);
+        assert_eq!(reg.counter("static_sa.proposed"), out.proposed);
+        assert_eq!(reg.counter("static_sa.accepted"), out.accepted);
+        assert_eq!(reg.counter("sim.kernel.events"), out.result.obs.events);
     }
 
     #[test]

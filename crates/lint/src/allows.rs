@@ -96,7 +96,7 @@ fn parse_allow(s: &str) -> Result<(Vec<Pass>, String), String> {
             None => {
                 return Err(format!(
                     "lint:allow names unknown pass `{name}` \
-                     (expected nondeterminism, panic, unsafe, or oracle)"
+                     (expected nondeterminism, panic, unsafe, oracle, or obs-clock)"
                 ));
             }
         }

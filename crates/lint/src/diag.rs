@@ -10,6 +10,7 @@ pub enum Pass {
     Panic,
     Unsafe,
     Oracle,
+    ObsClock,
     Allow,
     Lexer,
 }
@@ -22,6 +23,7 @@ impl Pass {
             Pass::Panic => "panic",
             Pass::Unsafe => "unsafe",
             Pass::Oracle => "oracle",
+            Pass::ObsClock => "obs-clock",
             Pass::Allow => "allow",
             Pass::Lexer => "lexer",
         }
@@ -35,6 +37,7 @@ impl Pass {
             "panic" => Some(Pass::Panic),
             "unsafe" => Some(Pass::Unsafe),
             "oracle" => Some(Pass::Oracle),
+            "obs-clock" => Some(Pass::ObsClock),
             _ => None,
         }
     }

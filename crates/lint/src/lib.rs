@@ -16,6 +16,10 @@
 //!   crates with zero unsafe assert `#![forbid(unsafe_code)]`.
 //! * **L4 `oracle`** — every `pub fn` in `sim::fastpath`/`sim::eval`
 //!   is referenced from an equality-oracle test file.
+//! * **L5 `obs-clock`** — outside the hot path, `crates/obs` is the
+//!   only crate that may touch `std::time` directly; everything else
+//!   takes an `anneal_obs::Clock` so timing can be nulled for
+//!   byte-reproducible runs (`Duration`, a value type, stays allowed).
 //!
 //! Justified exceptions use the structured escape hatch
 //! `// lint:allow(<pass>) reason="…"` (see [`allows`]); unused or
@@ -45,6 +49,7 @@ pub fn check(cfg: &Config) -> io::Result<Report> {
     passes::panic_hygiene(&mut files, &mut diags);
     passes::unsafe_audit(&mut files, &mut diags);
     passes::oracle(cfg, &mut files, &mut diags)?;
+    passes::obs_clock(cfg, &mut files, &mut diags);
 
     // Tally allows; an allow that suppressed nothing is stale and must
     // be removed (otherwise escapes outlive the code they excused).

@@ -1,4 +1,4 @@
-//! The four lint passes.
+//! The five lint passes.
 //!
 //! Each pass is a matcher over the stripped token stream (see
 //! [`crate::lexer`]); candidate findings are routed through the
@@ -101,6 +101,58 @@ pub fn nondeterminism(cfg: &Config, files: &mut [SourceFile], diags: &mut Vec<Di
                         ),
                     );
                 }
+            }
+        }
+        f.lexed.toks = toks;
+    }
+}
+
+/// L5 — clock discipline outside the hot path (`obs-clock`).
+///
+/// `anneal-obs` is the only sanctioned home of ambient time: every
+/// other crate that wants wall time must take an `anneal_obs::Clock`
+/// (`WallClock` in bins, `NullClock` in deterministic CI) so timing
+/// can be nulled out without touching the code under test. This pass
+/// flags direct `std::time` use — `Instant::now`, `SystemTime`, or a
+/// `std::time` path — everywhere outside the sanctioned crates.
+/// `std::time::Duration` is a plain value type and stays allowed.
+/// Hot-path crates are skipped here: L1 already denies clock reads
+/// there outright, and one finding per site is enough.
+pub fn obs_clock(cfg: &Config, files: &mut [SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files.iter_mut() {
+        if cfg.hot_crates.contains(&f.crate_name)
+            || cfg.clock_sanctioned_crates.contains(&f.crate_name)
+        {
+            continue;
+        }
+        let toks = std::mem::take(&mut f.lexed.toks);
+        for (k, t) in toks.iter().enumerate() {
+            if f.in_test(t.line) {
+                continue;
+            }
+            let found = if seq(&toks, k, &["Instant", ":", ":", "now"]) {
+                Some("`Instant::now`")
+            } else if t.is_ident("SystemTime") {
+                Some("`SystemTime`")
+            } else if seq(&toks, k, &["std", ":", ":", "time"])
+                && !seq(&toks, k + 4, &[":", ":", "Duration"])
+            {
+                Some("`std::time`")
+            } else {
+                None
+            };
+            if let Some(what) = found {
+                emit(
+                    f,
+                    diags,
+                    Pass::ObsClock,
+                    t.line,
+                    format!(
+                        "{what} outside the sanctioned clock crate: take an \
+                         `anneal_obs::Clock` (`WallClock`/`NullClock`) so timing \
+                         can be nulled for reproducible runs"
+                    ),
+                );
             }
         }
         f.lexed.toks = toks;

@@ -58,6 +58,12 @@ pub struct Config {
     /// Crate directory names whose code may not read clocks, the
     /// environment, or thread identity (the replayable hot path).
     pub hot_crates: Vec<String>,
+    /// Crate directory names that may use `std::time` directly — the
+    /// sanctioned home of wall-clock access behind the
+    /// `anneal_obs::Clock` trait. Every other crate outside
+    /// `hot_crates` (which deny clocks entirely) must take a `Clock`
+    /// instead of reading ambient time.
+    pub clock_sanctioned_crates: Vec<String>,
     /// Files whose `pub fn`s must each be referenced from at least one
     /// oracle test file (workspace-relative paths).
     pub oracle_targets: Vec<String>,
@@ -74,6 +80,7 @@ impl Config {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            clock_sanctioned_crates: vec!["obs".to_string()],
             oracle_targets: vec![
                 "crates/sim/src/fastpath.rs".into(),
                 "crates/sim/src/eval.rs".into(),

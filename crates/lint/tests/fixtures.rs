@@ -24,6 +24,7 @@ fn run_fixture(name: &str, tweak: impl FnOnce(&mut Config)) {
     let mut cfg = Config {
         root: root.clone(),
         hot_crates: Vec::new(),
+        clock_sanctioned_crates: Vec::new(),
         oracle_targets: Vec::new(),
         oracle_test_dirs: Vec::new(),
     };
@@ -69,12 +70,20 @@ fn oracle_fixture() {
     });
 }
 
+#[test]
+fn obs_clock_fixture() {
+    run_fixture("obs_clock", |cfg| {
+        cfg.hot_crates = vec!["sim".into()];
+        cfg.clock_sanctioned_crates = vec!["obs".into()];
+    });
+}
+
 /// A seeded violation must fail the check (non-empty diagnostics) —
 /// the suite is only trustworthy if the positive cases actually fire.
 #[test]
 fn seeded_violations_fail_each_pass() {
     type Tweak = fn(&mut Config);
-    let cases: [(&str, &str, Tweak); 4] = [
+    let cases: [(&str, &str, Tweak); 5] = [
         ("nondeterminism", "nondeterminism", |cfg| {
             cfg.hot_crates = vec!["sim".into()]
         }),
@@ -84,11 +93,16 @@ fn seeded_violations_fail_each_pass() {
             cfg.oracle_targets = vec!["crates/sim/src/fastpath.rs".into()];
             cfg.oracle_test_dirs = vec!["crates/sim/tests".into()];
         }),
+        ("obs_clock", "obs-clock", |cfg| {
+            cfg.hot_crates = vec!["sim".into()];
+            cfg.clock_sanctioned_crates = vec!["obs".into()];
+        }),
     ];
     for (name, pass, tweak) in cases {
         let mut cfg = Config {
             root: fixture_root(name),
             hot_crates: Vec::new(),
+            clock_sanctioned_crates: Vec::new(),
             oracle_targets: Vec::new(),
             oracle_test_dirs: Vec::new(),
         };
@@ -108,6 +122,7 @@ fn allow_tally_counts_suppressions() {
     let mut cfg = Config {
         root: fixture_root("panic"),
         hot_crates: Vec::new(),
+        clock_sanctioned_crates: Vec::new(),
         oracle_targets: Vec::new(),
         oracle_test_dirs: Vec::new(),
     };

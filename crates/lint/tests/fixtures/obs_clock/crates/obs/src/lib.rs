@@ -1,0 +1,8 @@
+//! Fixture: the sanctioned clock crate may read wall time directly.
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now() // fine: `obs` is in clock_sanctioned_crates
+}

@@ -1,0 +1,37 @@
+//! Fixture: direct clock reads outside the sanctioned obs crate.
+#![forbid(unsafe_code)]
+
+use std::time::Instant; // FLAG: std::time path outside the clock crate
+
+pub fn elapsed_ms(start: Instant) -> u128 {
+    // fine: naming the type is flagged at the import, not every use
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> Instant {
+    Instant::now() // FLAG: direct wall-clock read
+}
+
+pub fn epoch_is_zero() -> bool {
+    // FLAG x2: the `std::time` path and the `SystemTime` read
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+    true
+}
+
+pub fn nap_length_ms() -> u64 {
+    // fine: Duration is a value type, not a clock read
+    std::time::Duration::from_millis(5).as_millis() as u64
+}
+
+// lint:allow(obs-clock) reason="progress heartbeat only; never reaches artifacts"
+pub fn heartbeat() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: hot crates are L1 territory — obs-clock must not double-report.
+#![forbid(unsafe_code)]
+
+pub fn stamp_ns() -> u32 {
+    // FLAG: nondeterminism (hot crate), and only nondeterminism
+    let _ = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,171 @@
+//! [`JsonlSink`]: an append-only JSON-lines buffer with stable field
+//! order.
+//!
+//! Every event is one line, every line is an object whose first field
+//! is `"type"`, and fields render exactly in the order the caller adds
+//! them — no maps, no reordering — so two runs that record the same
+//! events produce byte-identical files.
+
+use crate::json::write_str;
+
+/// An in-memory JSON-lines buffer. Callers [`event`](JsonlSink::event)
+/// into it and finally write [`as_str`](JsonlSink::as_str) to disk in
+/// one shot (instrumentation never does file I/O mid-run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JsonlSink {
+    buf: String,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// Starts one event line of the given type. The returned builder
+    /// must be [`finish`](EventWriter::finish)ed to terminate the line.
+    pub fn event(&mut self, ty: &str) -> EventWriter<'_> {
+        self.buf.push_str("{\"type\": ");
+        write_str(&mut self.buf, ty);
+        EventWriter { sink: self }
+    }
+
+    /// The accumulated JSONL text.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Builder for one event line; fields render in call order.
+#[derive(Debug)]
+pub struct EventWriter<'s> {
+    sink: &'s mut JsonlSink,
+}
+
+impl EventWriter<'_> {
+    fn key(&mut self, key: &str) {
+        self.sink.buf.push_str(", ");
+        write_str(&mut self.sink.buf, key);
+        self.sink.buf.push_str(": ");
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        use std::fmt::Write as _;
+        self.key(key);
+        let _ = write!(self.sink.buf, "{value}");
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        write_str(&mut self.sink.buf, value);
+        self
+    }
+
+    /// Adds a float field, rendered as a JSON *string* in Rust's
+    /// shortest round-trip formatting. Keeping floats out of the bare
+    /// grammar lets every line stay parseable by the deliberately
+    /// integer-only [`crate::json::parse`], and the formatting is
+    /// platform-independent, so files remain byte-stable.
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        use std::fmt::Write as _;
+        self.key(key);
+        let mut s = String::new();
+        let _ = write!(s, "{value}");
+        write_str(&mut self.sink.buf, &s);
+        self
+    }
+
+    /// Adds an array of `[index, count]` pairs (histogram buckets).
+    pub fn pairs(mut self, key: &str, pairs: &[(usize, u64)]) -> Self {
+        use std::fmt::Write as _;
+        self.key(key);
+        self.sink.buf.push('[');
+        for (i, (idx, cnt)) in pairs.iter().enumerate() {
+            if i > 0 {
+                self.sink.buf.push_str(", ");
+            }
+            let _ = write!(self.sink.buf, "[{idx}, {cnt}]");
+        }
+        self.sink.buf.push(']');
+        self
+    }
+
+    /// Terminates the line.
+    pub fn finish(self) {
+        self.sink.buf.push_str("}\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_order_is_call_order() {
+        let mut s = JsonlSink::new();
+        s.event("cell")
+            .str("instance", "g40")
+            .num("makespan", 41)
+            .num("wall_ns", 0)
+            .finish();
+        s.event("note").str("msg", "a\"b").finish();
+        assert_eq!(
+            s.as_str(),
+            "{\"type\": \"cell\", \"instance\": \"g40\", \"makespan\": 41, \"wall_ns\": 0}\n\
+             {\"type\": \"note\", \"msg\": \"a\\\"b\"}\n"
+        );
+    }
+
+    #[test]
+    fn pairs_render_nested() {
+        let mut s = JsonlSink::new();
+        s.event("histogram")
+            .str("key", "h")
+            .pairs("buckets", &[(0, 2), (4, 1)])
+            .finish();
+        assert_eq!(
+            s.as_str(),
+            "{\"type\": \"histogram\", \"key\": \"h\", \"buckets\": [[0, 2], [4, 1]]}\n"
+        );
+        let parsed = crate::json::parse(s.as_str().trim()).unwrap();
+        assert_eq!(
+            parsed
+                .get("buckets")
+                .and_then(|b| b.as_arr())
+                .map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn floats_render_as_strings() {
+        let mut s = JsonlSink::new();
+        s.event("sample")
+            .float("temp", 0.25)
+            .float("cost", -3.5)
+            .finish();
+        assert_eq!(
+            s.as_str(),
+            "{\"type\": \"sample\", \"temp\": \"0.25\", \"cost\": \"-3.5\"}\n"
+        );
+        let parsed = crate::json::parse(s.as_str().trim()).unwrap();
+        assert_eq!(parsed.get("temp").and_then(|v| v.as_str()), Some("0.25"));
+    }
+
+    #[test]
+    fn lines_parse_back() {
+        let mut s = JsonlSink::new();
+        s.event("x").num("v", u64::MAX).finish();
+        for line in s.as_str().lines() {
+            assert!(crate::json::parse(line).is_ok());
+        }
+    }
+}

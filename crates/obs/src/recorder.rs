@@ -1,0 +1,102 @@
+//! The [`Recorder`] sink interface and its zero-cost no-op default.
+
+/// The narrow interface instrumented code records through.
+///
+/// Hot code holds `&mut R` (generic) or `&mut dyn Recorder` and calls
+/// these methods with *static or pre-built* keys — never `format!`-built
+/// ones — so that the [`NoopRecorder`] path performs no allocation and
+/// no observable work at all. Implementations must be deterministic:
+/// identical call sequences (in any order, for the commutative
+/// operations below) produce identical state.
+pub trait Recorder {
+    /// `false` for the no-op recorder; lets callers skip building
+    /// expensive inputs (per-cell event records, say) entirely.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the counter `key` (creating it at zero).
+    fn add(&mut self, key: &str, delta: u64);
+
+    /// Raises the high-water-mark gauge `key` to at least `value`.
+    fn hwm(&mut self, key: &str, value: u64);
+
+    /// Records one observation of `value` into the histogram `key`.
+    fn observe(&mut self, key: &str, value: u64);
+}
+
+/// The default recorder: every operation is a no-op and
+/// [`Recorder::enabled`] is `false`. Instrumented code paths built
+/// against this monomorphize to nothing, which is what lets the
+/// allocation-regression suite pin the recorder-off hot path at zero
+/// steady-state allocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn add(&mut self, _key: &str, _delta: u64) {}
+
+    #[inline(always)]
+    fn hwm(&mut self, _key: &str, _value: u64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _key: &str, _value: u64) {}
+}
+
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn add(&mut self, key: &str, delta: u64) {
+        (**self).add(key, delta);
+    }
+
+    #[inline]
+    fn hwm(&mut self, key: &str, value: u64) {
+        (**self).hwm(key, value);
+    }
+
+    #[inline]
+    fn observe(&mut self, key: &str, value: u64) {
+        (**self).observe(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.add("a", 1);
+        r.hwm("b", 2);
+        r.observe("c", 3);
+        assert_eq!(r, NoopRecorder);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        fn record_into<R: Recorder>(mut r: R) -> bool {
+            r.add("x", 2);
+            r.hwm("y", 3);
+            r.observe("z", 4);
+            r.enabled()
+        }
+        let mut reg = crate::MetricsRegistry::new();
+        // Passes `&mut MetricsRegistry` BY VALUE, exercising the
+        // blanket `impl Recorder for &mut R`.
+        assert!(record_into(&mut reg));
+        assert_eq!(reg.counter("x"), 2);
+        assert_eq!(reg.gauge("y"), 3);
+        assert_eq!(reg.histogram("z").unwrap().count(), 1);
+    }
+}

@@ -32,6 +32,7 @@ pub mod chart;
 pub mod csv;
 pub mod gantt;
 pub mod merge;
+pub mod obs_summary;
 pub mod svg;
 pub mod table;
 pub mod winloss;
@@ -40,6 +41,7 @@ pub use chart::{Chart, Series};
 pub use csv::Csv;
 pub use gantt::render_gantt;
 pub use merge::{merge_shard_csvs, render_matrix_csv, MergeError, MergedCampaign, MergedRow};
+pub use obs_summary::{render_metrics_summary, render_time_share_svg, CellSample};
 pub use svg::render_svg;
 pub use table::Table;
 pub use winloss::{render_win_loss_matrix, WinLossOptions};

@@ -24,7 +24,7 @@ use anneal_topology::topology::ChannelId;
 use anneal_topology::{CommParams, ProcId, RouteTable, Topology};
 
 use crate::gantt::{Gantt, Span, SpanKind};
-use crate::result::{CommStats, PacketStats, SimResult};
+use crate::result::{CommStats, PacketStats, RunObs, SimResult};
 use crate::scheduler::{EpochContext, OnlineScheduler};
 use crate::SimTime;
 
@@ -96,6 +96,8 @@ enum Ev {
 struct EventQueue {
     heap: BinaryHeap<Reverse<(SimTime, u64, EvSlot)>>,
     seq: u64,
+    /// Most events ever resident (the `RunObs::heap_hwm` source).
+    hwm: usize,
 }
 
 /// Wrapper making the event orderable without comparing enum payloads.
@@ -118,6 +120,7 @@ impl EventQueue {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            hwm: 0,
         }
     }
     fn push(&mut self, time: SimTime, ev: Ev, store: &mut Vec<Ev>) {
@@ -125,6 +128,7 @@ impl EventQueue {
         store.push(ev);
         self.heap.push(Reverse((time, self.seq, EvSlot(slot))));
         self.seq += 1;
+        self.hwm = self.hwm.max(self.heap.len());
     }
     fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
@@ -222,6 +226,7 @@ struct Engine<'a> {
     gantt: Gantt,
     comm: CommStats,
     packets: PacketStats,
+    epochs: u64,
     epoch_pending: bool,
 }
 
@@ -263,6 +268,7 @@ impl<'a> Engine<'a> {
             gantt: Gantt::default(),
             comm: CommStats::default(),
             packets: PacketStats::default(),
+            epochs: 0,
             epoch_pending: true,
         })
     }
@@ -599,6 +605,7 @@ impl<'a> Engine<'a> {
             let next = self.queue.peek_time();
             if self.epoch_pending && next.is_none_or(|t| t > self.now) {
                 self.epoch_pending = false;
+                self.epochs += 1;
                 self.run_epoch(sched)?;
                 continue;
             }
@@ -640,6 +647,12 @@ impl<'a> Engine<'a> {
             start: self.start.iter().map(|s| s.unwrap()).collect(),
             finish: self.finish.iter().map(|f| f.unwrap()).collect(),
             busy: self.procs.iter().map(|p| p.busy).collect(),
+            obs: RunObs {
+                events,
+                epochs: self.epochs,
+                heap_hwm: self.queue.hwm as u64,
+                messages: self.comm.messages,
+            },
             comm: self.comm,
             packets: self.packets,
             gantt: self.gantt,

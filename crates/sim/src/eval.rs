@@ -57,6 +57,49 @@ use crate::engine::{SimConfig, SimError};
 use crate::fastpath::{Driver, FlatRoutes, HeapEv, KernelCtx, KernelState, MsgMeta, Oh, NONE};
 use crate::SimTime;
 
+/// Always-on counters of a [`FixedEval`]'s incremental machinery,
+/// readable via [`FixedEval::obs_stats`]. All deterministic: pure
+/// functions of the instance and the sequence of
+/// `reset`/`eval_*`/`commit` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalObsStats {
+    /// Full baseline runs ([`FixedEval::reset`]).
+    pub resets: u64,
+    /// Moves proposed (`eval_relocate` + `eval_swap`).
+    pub moves: u64,
+    /// Candidates that provably replayed the baseline (no simulation).
+    pub noop_candidates: u64,
+    /// Baseline epochs skipped by resuming mid-timeline instead of
+    /// replaying from time 0.
+    pub epochs_skipped: u64,
+    /// Epochs actually re-simulated across all candidate runs.
+    pub epochs_replayed: u64,
+    /// Candidates adopted ([`FixedEval::commit`]).
+    pub commits: u64,
+    /// Commits that truncated the snapshot tail (lazy commits).
+    pub lazy_truncations: u64,
+    /// Times the eroded timeline tail was re-recorded.
+    pub timeline_rebuilds: u64,
+    /// Deepest resume index used (snapshots into the timeline).
+    pub max_resume_depth: u64,
+}
+
+impl EvalObsStats {
+    /// Accumulates into `r` under `eval.*` keys (counters except the
+    /// `eval.max_resume_depth` gauge).
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("eval.resets", self.resets);
+        r.add("eval.moves", self.moves);
+        r.add("eval.noop_candidates", self.noop_candidates);
+        r.add("eval.epochs_skipped", self.epochs_skipped);
+        r.add("eval.epochs_replayed", self.epochs_replayed);
+        r.add("eval.commits", self.commits);
+        r.add("eval.lazy_truncations", self.lazy_truncations);
+        r.add("eval.timeline_rebuilds", self.timeline_rebuilds);
+        r.hwm("eval.max_resume_depth", self.max_resume_depth);
+    }
+}
+
 /// A candidate move, as the divergence scan sees it.
 #[derive(Debug, Clone, Copy)]
 enum Mv {
@@ -331,6 +374,7 @@ pub struct FixedEval<'a> {
     ready_at: Vec<SimTime>,
     snap_pool: Vec<Snapshot>,
     evaluations: u64,
+    obs: EvalObsStats,
 }
 
 impl<'a> FixedEval<'a> {
@@ -388,6 +432,7 @@ impl<'a> FixedEval<'a> {
             ready_at: vec![0; n],
             snap_pool: Vec::with_capacity(2 * n + 4),
             evaluations: 0,
+            obs: EvalObsStats::default(),
         })
     }
 
@@ -416,6 +461,12 @@ impl<'a> FixedEval<'a> {
         self.evaluations
     }
 
+    /// Counters of the incremental machinery (resume depths, epochs
+    /// skipped vs replayed, lazy-commit truncations, rebuilds).
+    pub fn obs_stats(&self) -> EvalObsStats {
+        self.obs
+    }
+
     /// Establishes `mapping` as the committed baseline by a full run,
     /// returning its makespan.
     pub fn reset(&mut self, mapping: &[ProcId]) -> Result<SimTime, SimError> {
@@ -428,6 +479,7 @@ impl<'a> FixedEval<'a> {
         self.init_state();
         let makespan = self.run(true)?;
         self.evaluations += 1;
+        self.obs.resets += 1;
         self.base_mapping.clone_from(&self.run_mapping);
         self.base_makespan = makespan;
         self.base_ready_at.clone_from(&self.ready_at);
@@ -446,6 +498,7 @@ impl<'a> FixedEval<'a> {
     pub fn eval_relocate(&mut self, task: TaskId, to: ProcId) -> Result<SimTime, SimError> {
         assert!(self.has_base, "no baseline: call reset() first");
         assert!(to.index() < self.num_procs, "{to} out of range");
+        self.obs.moves += 1;
         self.maybe_rebuild();
         self.cand_mapping.clone_from(&self.base_mapping);
         let from = self.cand_mapping[task.index()];
@@ -468,6 +521,7 @@ impl<'a> FixedEval<'a> {
     /// Panics without a baseline or when `a`/`b` are out of range.
     pub fn eval_swap(&mut self, a: TaskId, b: TaskId) -> Result<SimTime, SimError> {
         assert!(self.has_base, "no baseline: call reset() first");
+        self.obs.moves += 1;
         self.maybe_rebuild();
         self.cand_mapping.clone_from(&self.base_mapping);
         let (pa, pb) = (self.cand_mapping[a.index()], self.cand_mapping[b.index()]);
@@ -498,6 +552,7 @@ impl<'a> FixedEval<'a> {
     pub fn commit(&mut self) {
         assert!(self.has_candidate, "no candidate to commit");
         self.has_candidate = false;
+        self.obs.commits += 1;
         if self.cand_is_noop {
             // The candidate's trajectory is the baseline's; nothing in
             // the timeline changes (and the mappings are equal).
@@ -513,6 +568,7 @@ impl<'a> FixedEval<'a> {
         // once it has eroded enough to matter.
         self.base_mapping.clone_from(&self.cand_mapping);
         self.base_makespan = self.cand_makespan;
+        self.obs.lazy_truncations += 1;
         self.snap_pool
             .extend(self.base_snaps.drain(self.cand_resume + 1..));
         self.timeline_complete = false;
@@ -556,6 +612,7 @@ impl<'a> FixedEval<'a> {
     /// from its last valid snapshot with recording on.
     // lint:allow(panic) reason="maybe_rebuild only runs with a baseline, which replays deterministically"
     fn rebuild_timeline(&mut self) {
+        self.obs.timeline_rebuilds += 1;
         let idx = self.base_snaps.len() - 1;
         self.run_mapping.clone_from(&self.base_mapping);
         self.restore(idx, true);
@@ -673,6 +730,8 @@ impl<'a> FixedEval<'a> {
                 // candidate is the baseline trajectory (and the
                 // baseline mapping).
                 self.evaluations += 1;
+                self.obs.noop_candidates += 1;
+                self.obs.epochs_skipped += self.base_snaps.len() as u64;
                 self.cand_makespan = self.base_makespan;
                 self.cand_resume = self.base_snaps.len().saturating_sub(1);
                 self.cand_is_noop = true;
@@ -686,10 +745,17 @@ impl<'a> FixedEval<'a> {
         };
         std::mem::swap(&mut self.run_mapping, &mut self.cand_mapping);
         self.restore(idx, false);
+        // The kernel's epoch counter is monotone across restores (it is
+        // not snapshot state), so the delta over the resumed run is the
+        // number of epochs actually re-simulated.
+        let epochs_before = self.k.epochs;
         let res = self.run(false);
         std::mem::swap(&mut self.run_mapping, &mut self.cand_mapping);
         let makespan = res?;
         self.evaluations += 1;
+        self.obs.epochs_skipped += idx as u64;
+        self.obs.epochs_replayed += self.k.epochs - epochs_before;
+        self.obs.max_resume_depth = self.obs.max_resume_depth.max(idx as u64);
         self.cand_makespan = makespan;
         self.cand_resume = idx;
         self.cand_is_noop = false;

@@ -115,6 +115,11 @@ impl EventHeap {
         self.v.iter()
     }
 
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.v.len()
+    }
+
     /// Guarantees capacity for `cap` resident events.
     pub(crate) fn reserve_total(&mut self, cap: usize) {
         if self.v.capacity() < cap {
@@ -380,6 +385,17 @@ pub(crate) struct KernelState {
     pub(crate) heap: EventHeap,
     pub(crate) seq: u64,
     pub(crate) events: u64,
+    /// Dispatch epochs run. Plain always-on counters (this and the two
+    /// below): one integer op per occurrence, no allocation, no effect
+    /// on event ordering or RNG streams, so they stay live even with
+    /// the recorder off.
+    pub(crate) epochs: u64,
+    /// Most events ever resident in the heap this run (completion
+    /// registers excluded — they never enter the heap).
+    pub(crate) heap_hwm: u64,
+    /// Cross-processor messages created (= predecessor edges that
+    /// actually traveled; same-processor dependencies are free).
+    pub(crate) messages: u64,
     pub(crate) epoch_pending: bool,
     /// Logical processor count of the current run. `procs` never
     /// shrinks (shrinking would free warm queue buffers); entries at
@@ -430,6 +446,9 @@ impl KernelState {
         self.heap.clear();
         self.seq = 0;
         self.events = 0;
+        self.epochs = 0;
+        self.heap_hwm = 0;
+        self.messages = 0;
         self.epoch_pending = true;
         // Buffers of buffers only grow: truncating would free the
         // deques a previous (larger) instance warmed up. Queue and heap
@@ -514,6 +533,7 @@ impl KernelState {
                 };
                 if next.is_none_or(|t| t > self.now) {
                     self.epoch_pending = false;
+                    self.epochs += 1;
                     driver.epoch_begin(self);
                     self.run_epoch(ctx, driver)?;
                     driver.epoch_end(self);
@@ -575,6 +595,7 @@ impl KernelState {
     fn push_ev(&mut self, time: SimTime, kind: u64, arg: u32) {
         self.heap.push((time, pack(self.seq, kind, arg)));
         self.seq += 1;
+        self.heap_hwm = self.heap_hwm.max(self.heap.len() as u64);
     }
 
     /// Dispatch epoch: the driver picks assignments, the kernel applies
@@ -643,6 +664,7 @@ impl KernelState {
             }
         }
         self.pending[t as usize] = pending;
+        self.messages += u64::from(pending);
         if pending == 0 {
             let pr = &mut self.procs[q as usize];
             debug_assert_eq!(pr.task, NONE);
@@ -864,6 +886,70 @@ pub(crate) fn build_pred_base(g: &TaskGraph, out: &mut Vec<u32>) {
     out.push(acc);
 }
 
+/// The always-on counters of one kernel run, readable from
+/// [`SimScratch::last_run_stats`] after a [`simulate_makespan`] call
+/// (and mirrored on [`SimResult`](crate::SimResult) by the general
+/// engine as [`RunObs`](crate::RunObs)). All four are deterministic:
+/// pure functions of `(graph, topology, params, scheduler, config)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelRunStats {
+    /// Events popped from the merged queue (heap + registers).
+    pub events: u64,
+    /// Dispatch epochs run.
+    pub epochs: u64,
+    /// Most events ever resident in the event heap.
+    pub heap_hwm: u64,
+    /// Cross-processor messages created.
+    pub messages: u64,
+}
+
+impl KernelRunStats {
+    /// Accumulates this run into `r`: counters `sim.kernel.events`,
+    /// `sim.kernel.epochs`, `sim.kernel.messages` and gauge
+    /// `sim.kernel.heap_hwm`.
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("sim.kernel.events", self.events);
+        r.add("sim.kernel.epochs", self.epochs);
+        r.add("sim.kernel.messages", self.messages);
+        r.hwm("sim.kernel.heap_hwm", self.heap_hwm);
+    }
+}
+
+impl KernelState {
+    pub(crate) fn run_stats(&self) -> KernelRunStats {
+        KernelRunStats {
+            events: self.events,
+            epochs: self.epochs,
+            heap_hwm: self.heap_hwm,
+            messages: self.messages,
+        }
+    }
+}
+
+/// Route-table cache counters of a [`SimScratch`] (see
+/// [`SimScratch::route_cache_stats`]). **Scheduling-dependent**, not
+/// deterministic: which worker's scratch sees which topology depends on
+/// how cells were divided among threads, so only the totals at a fixed
+/// execution plan are stable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build (flatten + route) a new table — the
+    /// expensive miss, counted separately from pool-level scratch
+    /// misses upstream.
+    pub builds: u64,
+}
+
+impl RouteCacheStats {
+    /// Accumulates into `r` as `sched.route_cache.hits` /
+    /// `sched.route_cache.builds` counters.
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("sched.route_cache.hits", self.hits);
+        r.add("sched.route_cache.builds", self.builds);
+    }
+}
+
 /// One cached route table: the channel matrix it was built from (the
 /// fingerprint — routing and contention depend on nothing else), the
 /// route table itself (schedulers read it through
@@ -891,6 +977,8 @@ struct CachedRoutes {
 pub struct SimScratch {
     kernel: KernelState,
     routes: Vec<CachedRoutes>,
+    route_hits: u64,
+    route_builds: u64,
     pred_base: Vec<u32>,
     fingerprint: Vec<u32>,
     // OnlineDriver buffers.
@@ -934,8 +1022,10 @@ impl SimScratch {
                 && e.num_channels == topo.num_channels()
                 && e.chan_matrix == self.fingerprint
         }) {
+            self.route_hits += 1;
             return Ok(i);
         }
+        self.route_builds += 1;
         let table = RouteTable::build(topo).map_err(|e| SimError::Disconnected(e.to_string()))?;
         let flat = FlatRoutes::build(topo, &table);
         if self.routes.len() >= ROUTE_CACHE_CAP {
@@ -949,6 +1039,20 @@ impl SimScratch {
             flat,
         });
         Ok(self.routes.len() - 1)
+    }
+
+    /// The counters of the most recent [`simulate_makespan`] run out of
+    /// this scratch (zeroed state before any run).
+    pub fn last_run_stats(&self) -> KernelRunStats {
+        self.kernel.run_stats()
+    }
+
+    /// Lifetime route-table cache counters of this scratch.
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.route_hits,
+            builds: self.route_builds,
+        }
     }
 }
 

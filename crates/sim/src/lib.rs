@@ -38,10 +38,10 @@ pub mod result;
 pub mod scheduler;
 
 pub use engine::{simulate, SimConfig, SimError};
-pub use eval::FixedEval;
-pub use fastpath::{simulate_makespan, SimScratch};
+pub use eval::{EvalObsStats, FixedEval};
+pub use fastpath::{simulate_makespan, KernelRunStats, RouteCacheStats, SimScratch};
 pub use gantt::{Gantt, Span, SpanKind};
-pub use result::{CommStats, PacketStats, SimResult};
+pub use result::{CommStats, PacketStats, RunObs, SimResult};
 pub use scheduler::{EpochContext, FixedMapping, GreedyScheduler, OnlineScheduler};
 
 /// Simulated time in nanoseconds since the start of execution.

@@ -58,6 +58,39 @@ impl PacketStats {
     }
 }
 
+/// Always-on engine counters of one run (the general engine's mirror
+/// of the fast path's [`KernelRunStats`](crate::fastpath::KernelRunStats)).
+///
+/// Each counter is deterministic *per path*, but the two paths count
+/// differently: the fast path keeps compute completions in registers
+/// outside the heap and never enqueues stale preempted timers, so
+/// `events` and `heap_hwm` from [`simulate`](crate::simulate) exceed
+/// the fast path's on preemption-heavy runs. Compare within one path
+/// only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunObs {
+    /// Events popped from the event queue.
+    pub events: u64,
+    /// Dispatch epochs run.
+    pub epochs: u64,
+    /// Most events ever resident in the queue.
+    pub heap_hwm: u64,
+    /// Cross-processor messages created.
+    pub messages: u64,
+}
+
+impl RunObs {
+    /// Accumulates this run into `r` under the same keys the fast-path
+    /// kernel uses (`sim.kernel.events` / `.epochs` / `.messages`
+    /// counters, `sim.kernel.heap_hwm` gauge).
+    pub fn record_into(&self, r: &mut dyn anneal_obs::Recorder) {
+        r.add("sim.kernel.events", self.events);
+        r.add("sim.kernel.epochs", self.epochs);
+        r.add("sim.kernel.messages", self.messages);
+        r.hwm("sim.kernel.heap_hwm", self.heap_hwm);
+    }
+}
+
 /// The outcome of a simulated execution.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -83,6 +116,8 @@ pub struct SimResult {
     pub gantt: Gantt,
     /// Name of the scheduler that produced the run.
     pub scheduler: String,
+    /// Engine counters (events, epochs, queue high-water, messages).
+    pub obs: RunObs,
 }
 
 impl SimResult {

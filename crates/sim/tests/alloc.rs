@@ -24,6 +24,7 @@ use std::cell::Cell;
 use anneal_graph::generate::{layered_random, LayeredConfig, Range};
 use anneal_graph::units::us;
 use anneal_graph::{TaskGraph, TaskId};
+use anneal_obs::NoopRecorder;
 use anneal_sim::{
     simulate_makespan, FixedEval, FixedMapping, GreedyScheduler, SimConfig, SimScratch,
 };
@@ -162,6 +163,65 @@ fn fast_path_alternating_instances_allocate_nothing_once_warm() {
     assert_eq!(
         delta, 0,
         "alternating warm instances must not allocate ({delta} allocations in 100 runs)"
+    );
+}
+
+#[test]
+fn observation_with_noop_recorder_allocates_nothing() {
+    // The observability layer's core bargain: with the recorder off
+    // (`NoopRecorder`), the whole instrumented surface — kernel run
+    // stats, route-cache stats, evaluator obs stats, and their
+    // `record_into` flushes — adds zero steady-state allocations to
+    // the hot path.
+    let g = sample_graph(13);
+    let n = g.num_tasks();
+    let topo = hypercube(3);
+    let params = CommParams::paper();
+    let cfg = SimConfig::default();
+    let mut scratch = SimScratch::new();
+
+    let order: Vec<u64> = (0..n as u64).collect();
+    let mut ev = FixedEval::new(&g, &topo, &params, &cfg, order).unwrap();
+    let mapping: Vec<ProcId> = (0..n).map(|i| ProcId::from_index(i % 8)).collect();
+    ev.reset(&mapping).unwrap();
+
+    // Warm-up: same deterministic move script as the measured region,
+    // long enough to grow every buffer to its high-water mark.
+    let mut expect = 0;
+    let step = |ev: &mut FixedEval<'_>, i: usize| {
+        ev.eval_relocate(TaskId::from_index(i % n), ProcId::from_index((i * 7) % 8))
+            .unwrap();
+        if i.is_multiple_of(3) {
+            ev.commit();
+        }
+    };
+    for i in 0..600usize {
+        if i.is_multiple_of(10) {
+            expect =
+                simulate_makespan(&g, &topo, &params, &mut GreedyScheduler, &cfg, &mut scratch)
+                    .unwrap();
+        }
+        step(&mut ev, i);
+    }
+
+    let mut noop = NoopRecorder;
+    let before = allocations();
+    for i in 0..60usize {
+        if i.is_multiple_of(10) {
+            let m = simulate_makespan(&g, &topo, &params, &mut GreedyScheduler, &cfg, &mut scratch)
+                .unwrap();
+            assert_eq!(m, expect);
+            scratch.last_run_stats().record_into(&mut noop);
+            scratch.route_cache_stats().record_into(&mut noop);
+        }
+        step(&mut ev, i);
+        ev.obs_stats().record_into(&mut noop);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "observation through NoopRecorder must not allocate \
+         ({delta} allocations in 60 observed moves)"
     );
 }
 
