@@ -28,7 +28,7 @@ use anneal_core::list::{ListScheduler, PriorityPolicy};
 use anneal_core::static_sa::{static_sa, StaticSaConfig};
 use anneal_core::{
     level_dispatch_order, replay_mapping, CpopScheduler, EvaluatorKind, HeftScheduler,
-    HlfScheduler, MctScheduler, SaConfig, SaScheduler,
+    HlfScheduler, MctScheduler, SaConfig, SaLane, SaScheduler,
 };
 use anneal_sim::{
     simulate, simulate_makespan, FixedMapping, GreedyScheduler, OnlineScheduler, SimError,
@@ -275,8 +275,17 @@ impl Portfolio {
     /// The cheap deterministic-and-light subset: the full list-scheduler
     /// family, greedy, MCT, HEFT, CPOP and staged SA. Suitable as the
     /// adversary's reference field, where every candidate instance costs
-    /// one simulation per entry.
+    /// one simulation per entry. Uses the default (delta-table) SA
+    /// lane; see [`Portfolio::fast_with_lane`].
     pub fn fast() -> Self {
+        Self::fast_with_lane(SaLane::default())
+    }
+
+    /// [`Portfolio::fast`] with an explicit [`SaLane`] for the staged-SA
+    /// entry. `Exact` and `DeltaTable` produce bit-identical cells (the
+    /// CI arena smoke byte-compares the CSVs); `Quantized` is the
+    /// opt-in lossy configuration.
+    pub fn fast_with_lane(lane: SaLane) -> Self {
         let mut p = Portfolio::new();
         p.register(PortfolioEntry::new("greedy", |_, _| {
             Box::new(GreedyScheduler)
@@ -312,8 +321,10 @@ impl Portfolio {
         p.register(PortfolioEntry::new("cpop", |_, _| {
             Box::new(CpopScheduler::new())
         }));
-        p.register(PortfolioEntry::new("sa", |_, seed| {
-            Box::new(SaScheduler::new(SaConfig::default().with_seed(seed)))
+        p.register(PortfolioEntry::new("sa", move |_, seed| {
+            Box::new(SaScheduler::new(
+                SaConfig::default().with_seed(seed).with_lane(lane),
+            ))
         }));
         p
     }
@@ -322,7 +333,8 @@ impl Portfolio {
     /// whole-graph static SA as a *mapped* entry (each cell anneals a
     /// complete mapping with simulated-makespan cost, then replays it
     /// through the shared evaluation layer). Uses the default
-    /// (incremental) move evaluator; see [`Portfolio::standard_with`].
+    /// (incremental) move evaluator and the default (delta-table) SA
+    /// lane; see [`Portfolio::standard_with`].
     pub fn standard() -> Self {
         Self::standard_with(EvaluatorKind::default())
     }
@@ -332,7 +344,15 @@ impl Portfolio {
     /// bit-identical cells (asserted by tests and the CI arena smoke);
     /// only the evaluation speed differs.
     pub fn standard_with(evaluator: EvaluatorKind) -> Self {
-        let mut p = Self::fast();
+        Self::standard_with_lanes(evaluator, SaLane::default())
+    }
+
+    /// [`Portfolio::standard_with`] with an explicit [`SaLane`] for
+    /// both annealing entries (`sa` and `static-sa`). Lossless lanes
+    /// produce bit-identical tournaments; the lane and evaluator only
+    /// change where the time goes.
+    pub fn standard_with_lanes(evaluator: EvaluatorKind, lane: SaLane) -> Self {
+        let mut p = Self::fast_with_lane(lane);
         p.register(PortfolioEntry::new_mapped(
             "static-sa",
             move |inst, seed| {
@@ -343,6 +363,7 @@ impl Portfolio {
                     stable_iters: 6,
                     seed,
                     evaluator,
+                    lane,
                     ..StaticSaConfig::default()
                 };
                 let outcome = static_sa(
@@ -443,6 +464,32 @@ mod tests {
                 assert_eq!(a.placement, b.placement, "{} seed {seed}", inst.name);
                 assert_eq!(a.finish, b.finish, "{} seed {seed}", inst.name);
             }
+        }
+    }
+
+    #[test]
+    fn annealing_cells_are_lane_invariant_on_lossless_lanes() {
+        // The `--sa-lane {exact,delta-table}` toggle must never change
+        // a result, only its cost. (`quantized` is exempt: lossy.)
+        let insts = smoke_instances(4);
+        let exact = Portfolio::standard_with_lanes(EvaluatorKind::default(), SaLane::Exact);
+        let fast = Portfolio::standard_with_lanes(EvaluatorKind::default(), SaLane::DeltaTable);
+        for name in ["sa", "static-sa"] {
+            for inst in &insts {
+                for seed in [3, 11] {
+                    let a = exact.get(name).unwrap().evaluate(inst, seed).unwrap();
+                    let b = fast.get(name).unwrap().evaluate(inst, seed).unwrap();
+                    assert_eq!(a.makespan, b.makespan, "{name} {} seed {seed}", inst.name);
+                    assert_eq!(a.placement, b.placement, "{name} {} seed {seed}", inst.name);
+                    assert_eq!(a.finish, b.finish, "{name} {} seed {seed}", inst.name);
+                }
+            }
+        }
+        // The lossy lane still yields valid, auditable schedules.
+        let quant = Portfolio::standard_with_lanes(EvaluatorKind::default(), SaLane::Quantized);
+        for name in ["sa", "static-sa"] {
+            let r = quant.get(name).unwrap().evaluate(&insts[0], 42).unwrap();
+            r.audit(&insts[0].graph).unwrap();
         }
     }
 

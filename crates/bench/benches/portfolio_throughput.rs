@@ -8,15 +8,22 @@
 //! default) on one instance per campaign shape at each size tier, via
 //! both evaluation paths:
 //!
-//! * `general` — [`PortfolioEntry::evaluate`]: the full engine with
-//!   route-table build, Gantt recording, statistics and an allocated
-//!   `SimResult` per cell (what every cell paid before the fast path);
-//! * `fast` — [`PortfolioEntry::evaluate_makespan`]: the shared
-//!   fast-path kernel out of one reused `SimScratch` per sweep.
+//! * `general` — [`PortfolioEntry::evaluate`] on the **exact SA
+//!   lane**: the full engine with route-table build, Gantt recording,
+//!   statistics, an allocated `SimResult` per cell, and the original
+//!   per-move `exp()` annealing loop (what every cell paid before the
+//!   fast path and the delta-table lane existed);
+//! * `fast` — [`PortfolioEntry::evaluate_makespan`] on the
+//!   **delta-table SA lane**: the shared fast-path kernel out of one
+//!   reused `SimScratch` per sweep, with the staged-SA inner loop
+//!   priced from flat cost tables and the quantized-lossless
+//!   acceptance table (`anneal_core::lane`).
 //!
-//! Every cell is asserted **bit-identical** between the two paths
-//! before anything is timed — in smoke mode this doubles as the CI
-//! equality gate. Besides the Criterion report, the bench writes
+//! Every cell is asserted **bit-identical** between the two paths —
+//! and therefore across the two lossless lanes — before anything is
+//! timed; in smoke mode this doubles as the CI equality gate, and the
+//! `sa` row's speedup is asserted to beat the pre-lane committed
+//! baseline. Besides the Criterion report, the bench writes
 //! `results/BENCH_portfolio.json`: per-tier cells/sec for both paths,
 //! the throughput speedup, and a per-scheduler breakdown (the staged
 //! SA scheduler's cells are dominated by its own annealing logic, so
@@ -29,6 +36,7 @@
 use std::time::Instant;
 
 use anneal_arena::{ArenaInstance, Portfolio};
+use anneal_core::SaLane;
 use anneal_graph::generate::{
     chain, fork_join, gnp_dag, independent, layered_random, series_parallel, LayeredConfig, Range,
 };
@@ -120,26 +128,39 @@ fn sweep_fast(portfolio: &Portfolio, insts: &[ArenaInstance], scratch: &mut SimS
 fn bench_portfolio(c: &mut Criterion) {
     let smoke = std::env::var("PORTFOLIO_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let reps = if smoke { 2 } else { 7 };
-    let portfolio = Portfolio::fast();
+    // "Before" portfolio: exact SA lane, general evaluation. "After"
+    // portfolio: delta-table SA lane, fast-path evaluation. Only the
+    // `sa` entry differs between the two — every other factory is
+    // lane-independent.
+    let portfolio = Portfolio::fast_with_lane(SaLane::Exact);
+    let portfolio_fast = Portfolio::fast_with_lane(SaLane::DeltaTable);
 
     let mut group = c.benchmark_group("portfolio_throughput");
     let mut tier_rows = Vec::new();
+    let mut sa_speedups = Vec::new();
     for (tier, scale) in [("small", 1usize), ("medium", 2), ("large", 3)] {
         let insts = tier_instances(scale, 100 + scale as u64);
         let cells = portfolio.len() * insts.len();
 
-        // Equality gate: every cell bit-identical between the paths.
+        // Equality gate: every cell bit-identical between the paths —
+        // which, because the paths run different lanes, is also the
+        // exact-vs-delta-table lossless oracle on every cell.
         let mut scratch = SimScratch::new();
-        for (e, entry) in portfolio.entries().iter().enumerate() {
+        for (e, (entry, fast_entry)) in portfolio
+            .entries()
+            .iter()
+            .zip(portfolio_fast.entries())
+            .enumerate()
+        {
             for (j, inst) in insts.iter().enumerate() {
                 let full = entry.evaluate(inst, seed_of(e, j)).unwrap().makespan;
-                let fast = entry
+                let fast = fast_entry
                     .evaluate_makespan(inst, seed_of(e, j), &mut scratch)
                     .unwrap();
                 assert_eq!(
                     fast,
                     full,
-                    "fast path diverged: {} on {tier}/{}",
+                    "fast path / delta-table lane diverged: {} on {tier}/{}",
                     entry.name(),
                     inst.name
                 );
@@ -149,7 +170,12 @@ fn bench_portfolio(c: &mut Criterion) {
         // Per-scheduler breakdown at this tier (best of `reps` sweeps
         // of that scheduler's row).
         let mut entry_rows = Vec::new();
-        for (e, entry) in portfolio.entries().iter().enumerate() {
+        for (e, (entry, fast_entry)) in portfolio
+            .entries()
+            .iter()
+            .zip(portfolio_fast.entries())
+            .enumerate()
+        {
             let mut best_general = f64::MAX;
             let mut best_fast = f64::MAX;
             for _ in 0..reps {
@@ -161,12 +187,15 @@ fn bench_portfolio(c: &mut Criterion) {
                 let start = Instant::now();
                 for (j, inst) in insts.iter().enumerate() {
                     std::hint::black_box(
-                        entry
+                        fast_entry
                             .evaluate_makespan(inst, seed_of(e, j), &mut scratch)
                             .unwrap(),
                     );
                 }
                 best_fast = best_fast.min(start.elapsed().as_nanos() as f64);
+            }
+            if entry.name() == "sa" {
+                sa_speedups.push(best_general / best_fast);
             }
             entry_rows.push(format!(
                 "        {{\"scheduler\": \"{}\", \"general_ns_per_cell\": {:.0}, \
@@ -191,11 +220,12 @@ fn bench_portfolio(c: &mut Criterion) {
         let mut best_fast = f64::MAX;
         let mut h_best_general = f64::MAX;
         let mut h_best_fast = f64::MAX;
+        let heuristics_fast = portfolio_fast.without("sa");
         for _ in 0..reps {
             best_general = best_general.min(sweep_general(&portfolio, &insts));
-            best_fast = best_fast.min(sweep_fast(&portfolio, &insts, &mut scratch));
+            best_fast = best_fast.min(sweep_fast(&portfolio_fast, &insts, &mut scratch));
             h_best_general = h_best_general.min(sweep_general(&heuristics, &insts));
-            h_best_fast = h_best_fast.min(sweep_fast(&heuristics, &insts, &mut scratch));
+            h_best_fast = h_best_fast.min(sweep_fast(&heuristics_fast, &insts, &mut scratch));
         }
         let general_cps = cells as f64 / (best_general * 1e-9);
         let fast_cps = cells as f64 / (best_fast * 1e-9);
@@ -226,7 +256,7 @@ fn bench_portfolio(c: &mut Criterion) {
                 let mut scratch = SimScratch::new();
                 b.iter(|| {
                     if is_fast {
-                        sweep_fast(&portfolio, &insts, &mut scratch)
+                        sweep_fast(&portfolio_fast, &insts, &mut scratch)
                     } else {
                         sweep_general(&portfolio, &insts)
                     }
@@ -235,6 +265,18 @@ fn bench_portfolio(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // Regression gate on the tentpole row: before the delta-table lane
+    // the committed `sa` speedup was 1.04x (fast path alone — the
+    // annealing arithmetic dominated and the engine change could not
+    // touch it). The lane must clear that with real margin on every
+    // tier, even under smoke-mode timing noise.
+    for (tier, s) in ["small", "medium", "large"].iter().zip(&sa_speedups) {
+        assert!(
+            *s > 1.3,
+            "sa row speedup regressed on tier {tier}: {s:.2}x (pre-lane baseline 1.04x)"
+        );
+    }
 
     // Benches run with the package directory as CWD; anchor the
     // artifact at the workspace root like the harness binaries do.

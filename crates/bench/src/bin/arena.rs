@@ -23,6 +23,11 @@
 //! * `--evaluator` — how static SA prices its annealing moves
 //!   (default `incremental`). Both kinds produce byte-identical
 //!   artifacts — CI runs the tournament under each and diffs the CSVs.
+//! * `--sa-lane {exact,delta-table,quantized}` — which inner-loop
+//!   implementation the annealing entries run (default `delta-table`).
+//!   The lossless lanes produce byte-identical artifacts — CI runs the
+//!   tournament under `exact` and `delta-table` and diffs the CSVs;
+//!   `quantized` is the opt-in lossy configuration.
 //! * `--metrics PATH` — additionally write the tournament's
 //!   `anneal-obs` registry (JSON) to `PATH` and its
 //!   deterministic-class view to `PATH.det.json`. Observation never
@@ -34,7 +39,7 @@
 use anneal_arena::{
     paper_instances, run_tournament_observed, standard_instances, Portfolio, TournamentConfig,
 };
-use anneal_core::EvaluatorKind;
+use anneal_core::{EvaluatorKind, SaLane};
 use anneal_obs::{Clock, NullClock, WallClock};
 use anneal_report::csv::f;
 use anneal_report::Table;
@@ -42,6 +47,7 @@ use anneal_report::Table;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut evaluator = EvaluatorKind::default();
+    let mut lane = SaLane::default();
     let mut threads = 0usize;
     let mut metrics: Option<std::path::PathBuf> = None;
     let mut null_clock = false;
@@ -54,6 +60,12 @@ fn main() {
                     .next()
                     .expect("--evaluator needs 'full' or 'incremental'");
                 evaluator = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--sa-lane" => {
+                let v = it
+                    .next()
+                    .expect("--sa-lane needs 'exact', 'delta-table', or 'quantized'");
+                lane = v.parse().unwrap_or_else(|e| panic!("{e}"));
             }
             "--threads" => {
                 let t = it.next().and_then(|v| v.parse().ok());
@@ -73,7 +85,7 @@ fn main() {
     let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
     let with_paper = args.iter().any(|a| a == "--paper");
 
-    let portfolio = Portfolio::standard_with(evaluator);
+    let portfolio = Portfolio::standard_with_lanes(evaluator, lane);
     let mut instances = standard_instances(seed, count);
     if with_paper {
         instances.extend(paper_instances());

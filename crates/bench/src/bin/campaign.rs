@@ -27,8 +27,9 @@
 //!
 //! Usage: `campaign [instances] [shards] [seed] [--full] [--shard K]
 //! [--procs N] [--threads T] [--merge-only] [--no-merge] [--dir PATH]
-//! [--evaluator {full,incremental}] [--metrics PATH] [--null-clock]
-//! [--progress]`
+//! [--evaluator {full,incremental}]
+//! [--sa-lane {exact,delta-table,quantized}] [--metrics PATH]
+//! [--null-clock] [--progress]`
 //!
 //! * `instances` — family size (default 1000).
 //! * `shards` — shard count (default 8).
@@ -53,6 +54,12 @@
 //!   its annealing moves (default `incremental`). The choice never
 //!   changes a cell value, so artifacts merge identically either way;
 //!   it is still stamped into `campaign.meta` for provenance.
+//! * `--sa-lane` — which inner-loop implementation the annealing
+//!   entries run (default `delta-table`). The lossless lanes
+//!   (`exact`, `delta-table`) never change a cell value — CI
+//!   byte-compares their merged CSVs — but `quantized` does, so the
+//!   lane is stamped into `campaign.meta` and mixing lanes in one
+//!   campaign directory is refused.
 //! * `--metrics PATH` — observe the campaign through `anneal-obs`:
 //!   every shard additionally writes `metrics-<k>.jsonl` (registry
 //!   lines plus one `cell` event per cell) into the campaign
@@ -75,7 +82,7 @@ use anneal_arena::{
     parse_cells_jsonl, run_shard_observed, shard_file_name, shard_metrics_file_name,
     CampaignConfig, Portfolio,
 };
-use anneal_core::EvaluatorKind;
+use anneal_core::{EvaluatorKind, SaLane};
 use anneal_obs::{Clock, MetricsRegistry, NullClock, WallClock};
 use anneal_report::{merge_shard_csvs, CellSample, Table};
 
@@ -83,6 +90,7 @@ struct Args {
     cfg: CampaignConfig,
     full: bool,
     evaluator: EvaluatorKind,
+    lane: SaLane,
     only_shard: Option<usize>,
     procs: usize,
     merge_only: bool,
@@ -98,6 +106,7 @@ fn parse_args() -> Args {
     let mut positional: Vec<u64> = Vec::new();
     let mut full = false;
     let mut evaluator = EvaluatorKind::default();
+    let mut lane = SaLane::default();
     let mut only_shard = None;
     let mut procs = 0usize;
     let mut threads = 0usize;
@@ -139,6 +148,12 @@ fn parse_args() -> Args {
                     .expect("--evaluator needs 'full' or 'incremental'");
                 evaluator = v.parse().unwrap_or_else(|e| panic!("{e}"));
             }
+            "--sa-lane" => {
+                let v = it
+                    .next()
+                    .expect("--sa-lane needs 'exact', 'delta-table', or 'quantized'");
+                lane = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
             other => match other.parse() {
                 Ok(v) => positional.push(v),
                 Err(_) => panic!("unknown argument {other:?}"),
@@ -155,6 +170,7 @@ fn parse_args() -> Args {
         cfg,
         full,
         evaluator,
+        lane,
         only_shard,
         procs,
         merge_only,
@@ -172,14 +188,15 @@ fn parse_args() -> Args {
 /// seed would merge cleanly (same header, same shape) into a silently
 /// wrong matrix. (`--procs`/`--threads` are deliberately absent: they
 /// never change a cell.)
-fn provenance(cfg: &CampaignConfig, full: bool, evaluator: EvaluatorKind) -> String {
+fn provenance(cfg: &CampaignConfig, full: bool, evaluator: EvaluatorKind, lane: SaLane) -> String {
     format!(
-        "instances={}\nshards={}\nseed={}\nportfolio={}\nevaluator={}\n",
+        "instances={}\nshards={}\nseed={}\nportfolio={}\nevaluator={}\nsa-lane={}\n",
         cfg.instances,
         cfg.shards,
         cfg.base_seed,
         if full { "standard" } else { "fast" },
-        evaluator
+        evaluator,
+        lane
     )
 }
 
@@ -215,6 +232,8 @@ fn run_multiprocess(args: &Args) {
             "--no-merge".into(),
             "--evaluator".into(),
             args.evaluator.to_string(),
+            "--sa-lane".into(),
+            args.lane.to_string(),
         ];
         if args.full {
             v.push("--full".into());
@@ -282,12 +301,15 @@ fn main() {
     let args = parse_args();
     args.cfg.validate();
     let portfolio = if args.full {
-        Portfolio::standard_with(args.evaluator)
+        Portfolio::standard_with_lanes(args.evaluator, args.lane)
     } else {
-        Portfolio::fast()
+        Portfolio::fast_with_lane(args.lane)
     };
     std::fs::create_dir_all(&args.dir).expect("create campaign dir");
-    check_provenance(&args.dir, &provenance(&args.cfg, args.full, args.evaluator));
+    check_provenance(
+        &args.dir,
+        &provenance(&args.cfg, args.full, args.evaluator, args.lane),
+    );
 
     if !args.merge_only {
         if args.procs > 0 && args.only_shard.is_none() {

@@ -37,6 +37,9 @@
 //! * [`anomaly`] — Graham (1969) multiprocessor anomaly instances; the
 //!   paper observes SA "is able to optimally solve the Graham list
 //!   scheduling anomalies".
+//! * [`lane`] — the delta-table SA fast lane ([`lane::SaLane`]): flat
+//!   per-packet cost tables and a quantized Boltzmann acceptance table,
+//!   lossless by construction against the exact engine.
 //! * [`parallel`] — seeded multi-restart SA across threads.
 //! * [`eval`] — the shared [`Evaluator`] layer for mapping-based
 //!   schedulers: a full-replay reference and an incremental
@@ -63,6 +66,7 @@ pub mod cpop;
 pub mod eval;
 pub mod heft;
 pub mod hlf;
+pub mod lane;
 pub mod list;
 pub mod mapping;
 pub mod mct;
@@ -77,6 +81,7 @@ pub use cpop::CpopScheduler;
 pub use eval::{level_dispatch_order, replay_mapping, Evaluator, EvaluatorKind};
 pub use heft::HeftScheduler;
 pub use hlf::HlfScheduler;
+pub use lane::{accept_table, AcceptTable, LaneCounters, SaLane, SaScratch};
 pub use mct::MctScheduler;
 pub use parallel::{PoolStats, ScratchPool};
 pub use sa::{SaConfig, SaScheduler, SaStats};

@@ -17,6 +17,7 @@ use anneal_graph::TaskGraph;
 use anneal_sim::{simulate, SimConfig, SimError, SimResult};
 use anneal_topology::{CommParams, Topology};
 
+use crate::lane::SaScratch;
 use crate::sa::{SaConfig, SaScheduler};
 use crate::static_sa::{static_sa, StaticSaConfig, StaticSaOutcome};
 
@@ -294,10 +295,19 @@ pub fn best_of_restarts_capped(
     max_threads: usize,
 ) -> Result<RestartOutcome, SimError> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let results: Vec<Result<SimResult, SimError>> = run_chunked(seeds.len(), max_threads, |i| {
-        let mut sched = SaScheduler::new(base.clone().with_seed(seeds[i]));
-        simulate(graph, topology, params, &mut sched, sim_cfg)
-    });
+    // Each worker keeps one fast-lane scratch warm across all the
+    // restarts it handles: the per-packet tables are rebuilt in place
+    // (no allocation at the steady-state high-water mark). Scratch is
+    // never an input — outcomes are identical for any thread cap.
+    let pool: ScratchPool<SaScratch> = ScratchPool::new();
+    let results: Vec<Result<SimResult, SimError>> =
+        run_chunked_pooled(seeds.len(), max_threads, &pool, |scratch, i| {
+            let mut sched = SaScheduler::new(base.clone().with_seed(seeds[i]));
+            sched.set_scratch(std::mem::take(scratch));
+            let r = simulate(graph, topology, params, &mut sched, sim_cfg);
+            *scratch = sched.take_scratch();
+            r
+        });
 
     let mut best: Option<(usize, SimResult)> = None;
     let mut all = Vec::with_capacity(seeds.len());

@@ -11,6 +11,7 @@ use crate::annealer::{anneal_packet, AnnealParams, InitRule};
 use crate::boltzmann::AcceptanceRule;
 use crate::cooling::CoolingSchedule;
 use crate::cost::{BalanceRange, CostModel};
+use crate::lane::{LaneCounters, SaLane, SaScratch};
 use crate::packet::AnnealingPacket;
 use crate::trace::PacketTrace;
 
@@ -43,6 +44,9 @@ pub struct SaConfig {
     pub seed: u64,
     /// Record per-iteration traces of every packet (Figure 1 data).
     pub record_traces: bool,
+    /// Which inner-loop implementation runs the packets. The default
+    /// [`SaLane::DeltaTable`] is bit-identical to [`SaLane::Exact`].
+    pub lane: SaLane,
 }
 
 impl Default for SaConfig {
@@ -60,6 +64,7 @@ impl Default for SaConfig {
             balance_range: BalanceRange::Full,
             seed: 42,
             record_traces: false,
+            lane: SaLane::default(),
         }
     }
 }
@@ -76,6 +81,12 @@ impl SaConfig {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the SA lane.
+    pub fn with_lane(mut self, lane: SaLane) -> Self {
+        self.lane = lane;
         self
     }
 }
@@ -99,6 +110,13 @@ pub struct SaStats {
     pub idle: u64,
     /// Total tasks dispatched.
     pub assigned: u64,
+    /// Fast-lane acceptance decisions resolved without a table lookup
+    /// or `exp()` (zero on the exact lane).
+    pub lane_shortcut: u64,
+    /// Fast-lane decisions resolved by the quantized table bounds.
+    pub lane_table: u64,
+    /// Fast-lane decisions that fell back to the exact Boltzmann path.
+    pub lane_fallback: u64,
 }
 
 impl SaStats {
@@ -148,6 +166,9 @@ impl SaStats {
         r.add("sa.candidates", self.candidates);
         r.add("sa.idle", self.idle);
         r.add("sa.assigned", self.assigned);
+        r.add("sa.lane.shortcut", self.lane_shortcut);
+        r.add("sa.lane.table", self.lane_table);
+        r.add("sa.lane.fallback", self.lane_fallback);
     }
 }
 
@@ -158,6 +179,7 @@ pub struct SaScheduler {
     cfg: SaConfig,
     rng: StdRng,
     levels: Option<Vec<Work>>,
+    scratch: SaScratch,
     /// Run statistics (reset per scheduler instance).
     pub stats: SaStats,
     /// Recorded packet traces (when `cfg.record_traces`).
@@ -172,6 +194,7 @@ impl SaScheduler {
             cfg,
             rng,
             levels: None,
+            scratch: SaScratch::new(),
             stats: SaStats::default(),
             traces: Vec::new(),
         }
@@ -181,6 +204,30 @@ impl SaScheduler {
     pub fn config(&self) -> &SaConfig {
         &self.cfg
     }
+
+    /// Installs a (possibly pre-warmed) fast-lane scratch, e.g. one
+    /// recycled across restarts through a
+    /// [`crate::parallel::ScratchPool`].
+    pub fn set_scratch(&mut self, scratch: SaScratch) {
+        self.scratch = scratch;
+    }
+
+    /// Takes the fast-lane scratch back out (for pooling), leaving an
+    /// empty one behind.
+    pub fn take_scratch(&mut self) -> SaScratch {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Resets the RNG to `seed` and clears statistics and traces while
+    /// keeping the warmed buffers (levels cache, fast-lane scratch).
+    /// Only valid for re-running the *same* instance: the cached
+    /// bottom levels belong to the graph of the previous run.
+    pub fn reseed(&mut self, seed: u64) {
+        self.cfg.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.stats = SaStats::default();
+        self.traces.clear();
+    }
 }
 
 impl OnlineScheduler for SaScheduler {
@@ -189,8 +236,6 @@ impl OnlineScheduler for SaScheduler {
             return;
         }
         let levels = self.levels.get_or_insert_with(|| bottom_levels(ctx.graph));
-        let packet = AnnealingPacket::from_epoch(ctx, levels);
-        let cm = CostModel::new(&packet, self.cfg.wb, self.cfg.wc, self.cfg.balance_range);
         let params = AnnealParams {
             cooling: self.cfg.cooling,
             max_iters: self.cfg.max_iters,
@@ -200,25 +245,71 @@ impl OnlineScheduler for SaScheduler {
             keep_best: self.cfg.keep_best,
             init: self.cfg.init,
         };
-        let outcome = anneal_packet(&packet, &cm, &params, &mut self.rng, self.cfg.record_traces);
+        match self.cfg.lane {
+            SaLane::Exact => {
+                let packet = AnnealingPacket::from_epoch(ctx, levels);
+                let cm = CostModel::new(&packet, self.cfg.wb, self.cfg.wc, self.cfg.balance_range);
+                let outcome =
+                    anneal_packet(&packet, &cm, &params, &mut self.rng, self.cfg.record_traces);
 
-        self.stats.packets += 1;
-        self.stats.iterations += outcome.iterations;
-        self.stats.moves += outcome.moves;
-        self.stats.accepted += outcome.accepted;
-        self.stats.candidates += packet.num_tasks() as u64;
-        self.stats.idle += packet.num_procs() as u64;
-        self.stats.assigned += outcome.assignment.len() as u64;
-        if let Some(mut tr) = outcome.trace {
-            tr.packet = self.stats.packets - 1;
-            self.traces.push(tr);
+                self.stats.packets += 1;
+                self.stats.iterations += outcome.iterations;
+                self.stats.moves += outcome.moves;
+                self.stats.accepted += outcome.accepted;
+                self.stats.candidates += packet.num_tasks() as u64;
+                self.stats.idle += packet.num_procs() as u64;
+                self.stats.assigned += outcome.assignment.len() as u64;
+                if let Some(mut tr) = outcome.trace {
+                    tr.packet = self.stats.packets - 1;
+                    self.traces.push(tr);
+                }
+                out.extend(
+                    outcome
+                        .assignment
+                        .iter()
+                        .map(|&(t, p)| (packet.tasks[t], packet.procs[p])),
+                );
+            }
+            lane => {
+                self.scratch.load_epoch(
+                    ctx,
+                    levels,
+                    self.cfg.wb,
+                    self.cfg.wc,
+                    self.cfg.balance_range,
+                );
+                let mut counters = LaneCounters::default();
+                let lo = self.scratch.anneal_loaded(
+                    &params,
+                    &mut self.rng,
+                    lane == SaLane::Quantized,
+                    self.cfg.record_traces,
+                    &mut counters,
+                );
+
+                self.stats.packets += 1;
+                self.stats.iterations += lo.iterations;
+                self.stats.moves += lo.moves;
+                self.stats.accepted += lo.accepted;
+                self.stats.candidates += ctx.ready.len() as u64;
+                self.stats.idle += ctx.idle.len() as u64;
+                self.stats.lane_shortcut += counters.shortcut;
+                self.stats.lane_table += counters.table;
+                self.stats.lane_fallback += counters.fallback;
+                if let Some(mut tr) = lo.trace {
+                    tr.packet = self.stats.packets - 1;
+                    self.traces.push(tr);
+                }
+                let before = out.len();
+                let (tasks, procs) = (self.scratch.task_ids(), self.scratch.proc_ids());
+                out.extend(
+                    self.scratch
+                        .assignments()
+                        .map(|(t, p)| (tasks[t], procs[p])),
+                );
+                self.stats.assigned += (out.len() - before) as u64;
+            }
         }
-        out.extend(
-            outcome
-                .assignment
-                .iter()
-                .map(|&(t, p)| (packet.tasks[t], packet.procs[p])),
-        );
     }
 
     fn name(&self) -> &str {

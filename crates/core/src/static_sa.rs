@@ -29,6 +29,7 @@ use rand::{Rng, SeedableRng};
 use crate::boltzmann::{accept, AcceptanceRule};
 use crate::cooling::CoolingSchedule;
 use crate::eval::{level_dispatch_order, replay_mapping, EvaluatorKind};
+use crate::lane::{accept_table, LaneCounters, SaLane};
 
 /// Configuration of the whole-graph annealer.
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ pub struct StaticSaConfig {
     /// makespans (enforced by the equivalence suite); `Incremental` is
     /// several times faster per move.
     pub evaluator: EvaluatorKind,
+    /// Which acceptance implementation decides the moves. The default
+    /// [`SaLane::DeltaTable`] is bit-identical to [`SaLane::Exact`]
+    /// (same decisions, same RNG stream).
+    pub lane: SaLane,
 }
 
 impl Default for StaticSaConfig {
@@ -65,6 +70,7 @@ impl Default for StaticSaConfig {
             acceptance: AcceptanceRule::HeatBath,
             seed: 42,
             evaluator: EvaluatorKind::Incremental,
+            lane: SaLane::default(),
         }
     }
 }
@@ -100,6 +106,8 @@ pub struct StaticSaOutcome {
     pub proposed: u64,
     /// Moves accepted.
     pub accepted: u64,
+    /// Fast-lane acceptance counters (all zero on [`SaLane::Exact`]).
+    pub lane_counters: LaneCounters,
 }
 
 impl StaticSaOutcome {
@@ -120,6 +128,9 @@ impl StaticSaOutcome {
         r.add("static_sa.iterations", self.iterations);
         r.add("static_sa.proposed", self.proposed);
         r.add("static_sa.accepted", self.accepted);
+        r.add("static_sa.lane.shortcut", self.lane_counters.shortcut);
+        r.add("static_sa.lane.table", self.lane_counters.table);
+        r.add("static_sa.lane.fallback", self.lane_counters.fallback);
         self.result.obs.record_into(r);
     }
 }
@@ -157,6 +168,8 @@ pub fn static_sa(
     } else {
         cfg.moves_per_temp
     };
+    let table = accept_table(cfg.acceptance);
+    let mut lane_counters = LaneCounters::default();
 
     enum Mv {
         Relocate(usize),
@@ -197,7 +210,16 @@ pub fn static_sa(
             }
             let cand_cost = cand_makespan as f64 / norm;
             let delta = cand_cost - cur_cost;
-            if accept(cfg.acceptance, delta, temp, &mut rng) {
+            let acc = match cfg.lane {
+                SaLane::Exact => accept(cfg.acceptance, delta, temp, &mut rng),
+                SaLane::DeltaTable => {
+                    table.accept_lossless(delta, temp, &mut rng, &mut lane_counters)
+                }
+                SaLane::Quantized => {
+                    table.accept_quantized(delta, temp, &mut rng, &mut lane_counters)
+                }
+            };
+            if acc {
                 accepted_moves += 1;
                 evaluator.commit();
                 match mv {
@@ -230,6 +252,7 @@ pub fn static_sa(
         iterations: k,
         proposed,
         accepted: accepted_moves,
+        lane_counters,
     })
 }
 
@@ -375,6 +398,38 @@ mod tests {
         };
         let out = static_sa(&g, &topo, &CommParams::zero(), &cfg, &quick_cfg(2)).unwrap();
         assert_eq!(out.result.makespan, g.total_work());
+    }
+
+    #[test]
+    fn lanes_agree_exactly_on_the_lossless_configuration() {
+        let g = small_graph();
+        let topo = hypercube(2);
+        let run = |lane| {
+            static_sa(
+                &g,
+                &topo,
+                &CommParams::paper(),
+                &SimConfig::default(),
+                &StaticSaConfig {
+                    lane,
+                    ..quick_cfg(13)
+                },
+            )
+            .unwrap()
+        };
+        let exact = run(SaLane::Exact);
+        let fast = run(SaLane::DeltaTable);
+        assert_eq!(exact.result.makespan, fast.result.makespan);
+        assert_eq!(exact.mapping, fast.mapping);
+        assert_eq!(exact.proposed, fast.proposed);
+        assert_eq!(exact.accepted, fast.accepted);
+        assert_eq!(exact.iterations, fast.iterations);
+        assert_eq!(exact.lane_counters.decisions(), 0);
+        assert_eq!(fast.lane_counters.decisions(), fast.proposed);
+        // The lossy lane still produces a valid schedule.
+        let quant = run(SaLane::Quantized);
+        quant.result.audit(&g).unwrap();
+        assert_eq!(quant.lane_counters.decisions(), quant.proposed);
     }
 
     #[test]

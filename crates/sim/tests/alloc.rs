@@ -21,6 +21,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
+use anneal_core::{SaConfig, SaLane, SaScheduler};
 use anneal_graph::generate::{layered_random, LayeredConfig, Range};
 use anneal_graph::units::us;
 use anneal_graph::{TaskGraph, TaskId};
@@ -222,6 +223,57 @@ fn observation_with_noop_recorder_allocates_nothing() {
         delta, 0,
         "observation through NoopRecorder must not allocate \
          ({delta} allocations in 60 observed moves)"
+    );
+}
+
+#[test]
+fn delta_table_sa_lane_steady_state_allocates_nothing() {
+    // The delta-table lane's cost tables and acceptance table are
+    // built once (first packet / process-wide `OnceLock`) and reused
+    // through `SaScratch`'s grow-only buffers: once a scheduler is
+    // warm on its instance, `reseed` + re-simulate must not touch the
+    // allocator — the property `ScratchPool` reuse in
+    // `best_of_restarts` depends on.
+    let g1 = sample_graph(9);
+    let g2 = sample_graph(15);
+    let t1 = hypercube(3);
+    let t2 = ring(5);
+    let params = CommParams::paper();
+    let cfg = SimConfig::default();
+    let mut scratch = SimScratch::new();
+    let lane_cfg = |seed| {
+        SaConfig::default()
+            .with_seed(seed)
+            .with_lane(SaLane::DeltaTable)
+    };
+    // One scheduler per instance: `reseed` keeps the per-graph level
+    // cache and the lane scratch, both valid for the same instance
+    // only.
+    let mut s1 = SaScheduler::new(lane_cfg(21));
+    let mut s2 = SaScheduler::new(lane_cfg(22));
+
+    let mut e1 = 0;
+    let mut e2 = 0;
+    for _ in 0..3 {
+        s1.reseed(21);
+        e1 = simulate_makespan(&g1, &t1, &params, &mut s1, &cfg, &mut scratch).unwrap();
+        s2.reseed(22);
+        e2 = simulate_makespan(&g2, &t2, &params, &mut s2, &cfg, &mut scratch).unwrap();
+    }
+
+    let before = allocations();
+    for _ in 0..20 {
+        s1.reseed(21);
+        let m1 = simulate_makespan(&g1, &t1, &params, &mut s1, &cfg, &mut scratch).unwrap();
+        assert_eq!(m1, e1);
+        s2.reseed(22);
+        let m2 = simulate_makespan(&g2, &t2, &params, &mut s2, &cfg, &mut scratch).unwrap();
+        assert_eq!(m2, e2);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warm delta-table SA lane must not allocate ({delta} allocations in 40 runs)"
     );
 }
 
