@@ -1,10 +1,14 @@
 //! Per-packet annealing loop: the paper's inner optimization, across
 //! packet shapes (the NE average is ~15 candidates for ~1.5 idle
-//! processors; MM packets reach 100 candidates).
+//! processors; MM packets reach 100 candidates), and across the SA
+//! lanes that run it (`exact` — the original `anneal_packet`;
+//! `delta-table` — the lossless fast lane; `turbo` — the lossy lane on
+//! counter-based RNG streams).
 
 use anneal_core::annealer::{anneal_packet, AnnealParams};
 use anneal_core::cost::{BalanceRange, CostModel};
 use anneal_core::packet::AnnealingPacket;
+use anneal_core::{CounterRng, LaneCounters, SaScratch, TurboTuning};
 use anneal_graph::TaskId;
 use anneal_topology::ProcId;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -37,21 +41,53 @@ fn bench_anneal(c: &mut Criterion) {
     for (tasks, procs) in [(2, 2), (15, 2), (15, 8), (100, 8)] {
         let packet = synthetic_packet(tasks, procs, 1);
         let cm = CostModel::new(&packet, 0.5, 0.5, BalanceRange::Full);
+        group.bench_function(BenchmarkId::new("exact", format!("{tasks}x{procs}")), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                black_box(anneal_packet(
+                    &packet,
+                    &cm,
+                    &AnnealParams::default(),
+                    &mut rng,
+                    false,
+                ))
+            })
+        });
         group.bench_function(
-            BenchmarkId::from_parameter(format!("{tasks}x{procs}")),
+            BenchmarkId::new("delta-table", format!("{tasks}x{procs}")),
             |b| {
                 let mut rng = StdRng::seed_from_u64(7);
+                let mut scratch = SaScratch::new();
+                let mut counters = LaneCounters::default();
                 b.iter(|| {
-                    black_box(anneal_packet(
-                        &packet,
-                        &cm,
+                    scratch.load_packet(&packet, 0.5, 0.5, BalanceRange::Full);
+                    black_box(scratch.anneal_loaded(
                         &AnnealParams::default(),
                         &mut rng,
                         false,
+                        false,
+                        &mut counters,
                     ))
                 })
             },
         );
+        group.bench_function(BenchmarkId::new("turbo", format!("{tasks}x{procs}")), |b| {
+            let mut scratch = SaScratch::new();
+            let mut counters = LaneCounters::default();
+            let mut packet_idx = 0u64;
+            b.iter(|| {
+                scratch.load_packet(&packet, 0.5, 0.5, BalanceRange::Full);
+                let mut rng = CounterRng::new(7, packet_idx);
+                packet_idx += 1;
+                black_box(scratch.anneal_turbo(
+                    &AnnealParams::default(),
+                    &mut rng,
+                    TurboTuning::default(),
+                    false,
+                    &mut counters,
+                ))
+            })
+        });
     }
     group.finish();
 }

@@ -23,11 +23,13 @@
 //! * `--evaluator` — how static SA prices its annealing moves
 //!   (default `incremental`). Both kinds produce byte-identical
 //!   artifacts — CI runs the tournament under each and diffs the CSVs.
-//! * `--sa-lane {exact,delta-table,quantized}` — which inner-loop
-//!   implementation the annealing entries run (default `delta-table`).
-//!   The lossless lanes produce byte-identical artifacts — CI runs the
-//!   tournament under `exact` and `delta-table` and diffs the CSVs;
-//!   `quantized` is the opt-in lossy configuration.
+//! * `--sa-lane {exact,delta-table,quantized,turbo}` — which
+//!   inner-loop implementation the annealing entries run (default
+//!   `delta-table`; case-insensitive). The lossless lanes produce
+//!   byte-identical artifacts — CI runs the tournament under `exact`
+//!   and `delta-table` and diffs the CSVs; `quantized` and `turbo` are
+//!   the opt-in lossy configurations (turbo is certified by the
+//!   corpus-scale equivalence study, `lane_study`).
 //! * `--metrics PATH` — additionally write the tournament's
 //!   `anneal-obs` registry (JSON) to `PATH` and its
 //!   deterministic-class view to `PATH.det.json`. Observation never
@@ -44,8 +46,23 @@ use anneal_obs::{Clock, NullClock, WallClock};
 use anneal_report::csv::f;
 use anneal_report::Table;
 
+fn usage() -> String {
+    format!(
+        "arena [random_instances] [seed] [--paper] [--threads T]\n\
+         \x20     [--evaluator {{full,incremental}}] [--sa-lane LANE]\n\
+         \x20     [--metrics PATH] [--null-clock]\n\
+         \n\
+         valid --sa-lane values (case-insensitive): {}",
+        SaLane::name_list()
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return;
+    }
     let mut evaluator = EvaluatorKind::default();
     let mut lane = SaLane::default();
     let mut threads = 0usize;
@@ -64,8 +81,8 @@ fn main() {
             "--sa-lane" => {
                 let v = it
                     .next()
-                    .expect("--sa-lane needs 'exact', 'delta-table', or 'quantized'");
-                lane = v.parse().unwrap_or_else(|e| panic!("{e}"));
+                    .unwrap_or_else(|| panic!("--sa-lane needs one of: {}", SaLane::name_list()));
+                lane = v.parse().unwrap_or_else(|e| panic!("{e}\n{}", usage()));
             }
             "--threads" => {
                 let t = it.next().and_then(|v| v.parse().ok());

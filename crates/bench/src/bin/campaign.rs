@@ -28,7 +28,7 @@
 //! Usage: `campaign [instances] [shards] [seed] [--full] [--shard K]
 //! [--procs N] [--threads T] [--merge-only] [--no-merge] [--dir PATH]
 //! [--evaluator {full,incremental}]
-//! [--sa-lane {exact,delta-table,quantized}] [--metrics PATH]
+//! [--sa-lane {exact,delta-table,quantized,turbo}] [--metrics PATH]
 //! [--null-clock] [--progress]`
 //!
 //! * `instances` — family size (default 1000).
@@ -55,11 +55,13 @@
 //!   changes a cell value, so artifacts merge identically either way;
 //!   it is still stamped into `campaign.meta` for provenance.
 //! * `--sa-lane` — which inner-loop implementation the annealing
-//!   entries run (default `delta-table`). The lossless lanes
-//!   (`exact`, `delta-table`) never change a cell value — CI
-//!   byte-compares their merged CSVs — but `quantized` does, so the
-//!   lane is stamped into `campaign.meta` and mixing lanes in one
-//!   campaign directory is refused.
+//!   entries run (default `delta-table`; case-insensitive). The
+//!   lossless lanes (`exact`, `delta-table`) never change a cell
+//!   value — CI byte-compares their merged CSVs — but `quantized` and
+//!   `turbo` do, so the lane is stamped into `campaign.meta` and
+//!   mixing lanes in one campaign directory is refused. `turbo` is the
+//!   certified-lossy fast lane, gated by the `lane_study` equivalence
+//!   oracle (`results/LANE_EQUIV.json`).
 //! * `--metrics PATH` — observe the campaign through `anneal-obs`:
 //!   every shard additionally writes `metrics-<k>.jsonl` (registry
 //!   lines plus one `cell` event per cell) into the campaign
@@ -101,8 +103,24 @@ struct Args {
     progress: bool,
 }
 
+fn usage() -> String {
+    format!(
+        "campaign [instances] [shards] [seed] [--full] [--shard K]\n\
+         \x20        [--procs N] [--threads T] [--merge-only] [--no-merge]\n\
+         \x20        [--dir PATH] [--evaluator {{full,incremental}}]\n\
+         \x20        [--sa-lane LANE] [--metrics PATH] [--null-clock] [--progress]\n\
+         \n\
+         valid --sa-lane values (case-insensitive): {}",
+        SaLane::name_list()
+    )
+}
+
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        std::process::exit(0);
+    }
     let mut positional: Vec<u64> = Vec::new();
     let mut full = false;
     let mut evaluator = EvaluatorKind::default();
@@ -151,8 +169,8 @@ fn parse_args() -> Args {
             "--sa-lane" => {
                 let v = it
                     .next()
-                    .expect("--sa-lane needs 'exact', 'delta-table', or 'quantized'");
-                lane = v.parse().unwrap_or_else(|e| panic!("{e}"));
+                    .unwrap_or_else(|| panic!("--sa-lane needs one of: {}", SaLane::name_list()));
+                lane = v.parse().unwrap_or_else(|e| panic!("{e}\n{}", usage()));
             }
             other => match other.parse() {
                 Ok(v) => positional.push(v),

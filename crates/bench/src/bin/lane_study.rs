@@ -1,0 +1,407 @@
+//! Corpus-scale statistical equivalence study for the turbo SA lane
+//! (`results/LANE_EQUIV.json`) — the certification half of the turbo
+//! tentpole.
+//!
+//! The turbo lane (`anneal_core::SaLane::Turbo`) deliberately drops the
+//! bit-exact contract the delta-table lane proved: counter-based RNG
+//! streams, no-fallback midpoint acceptance and `f32` cost tables all
+//! change the annealing trajectory. What it must **not** change is the
+//! *result distribution*: scheduler comparisons are properly made on
+//! final-makespan distributions (Workflow-Schedulers, PAPERS.md), and a
+//! lossy lane must be stress-tested where it is most likely to crack —
+//! the frozen adversarial corpus (PISA's methodology), not just random
+//! instances.
+//!
+//! The study runs the staged SA scheduler under the **exact** lane and
+//! the **turbo** lane on every instance of
+//!
+//! * the full frozen corpus (`corpus/*.tgi`, adversarial), and
+//! * a deterministic slice of the campaign family
+//!   (`anneal_arena::campaign_instance`, random),
+//!
+//! across many seeds, and reports per-instance makespan-ratio
+//! (`turbo / exact`) distributions. Because one flipped accept decision
+//! re-routes every later packet, a *per-seed* ratio is trajectory
+//! noise, and the mean of per-seed ratios is Jensen-biased upward
+//! whenever both lanes have variance. The gates therefore bind the
+//! **ratio of mean final makespans** (`mean(turbo) / mean(exact)` over
+//! the seed set):
+//!
+//! * per-instance makespan ratio ≤ 1.02 (no instance regresses >2%),
+//!   and
+//! * corpus-mean (mean of instance makespan ratios) ≤ 1.005 (no
+//!   systematic regression >0.5%),
+//!
+//! The ±2% per-instance bound is calibrated at 32 seeds. Below that
+//! (e.g. `--smoke`'s 8 seeds) the standard error of a per-instance
+//! mean grows like `sqrt(32/S)`, so the per-instance bound widens by
+//! the same factor — the smoke gate still catches real breakage (a
+//! quality bug shows up as tens of percent) without tripping on
+//! small-sample noise. The corpus-mean bound averages across
+//! instances and is left unscaled.
+//!
+//! mirroring the enforced `cargo test` gate in `tests/sa_lane_turbo.rs`.
+//! The study itself is a pure function of its arguments — no timing, no
+//! threads — so two runs emit byte-identical JSON.
+//!
+//! Usage: `lane_study [--smoke] [--seeds S] [--campaign N] [--tuning]
+//! [--out PATH]`
+//!
+//! * `--smoke` — reduced CI configuration: 8 seeds × (sa-targeted
+//!   corpus + 8 campaign instances). The gate is still enforced.
+//! * `--seeds S` — seeds per instance (default 32; ≥32 required for
+//!   the full-mode gate to be meaningful).
+//! * `--campaign N` — campaign-family instances to include (default
+//!   24).
+//! * `--tuning` — additionally emit per-ingredient attribution rows:
+//!   each `TurboTuning` toggle flipped off in isolation, quality-only,
+//!   over the corpus instances.
+//! * `--out PATH` — output path (default `results/LANE_EQUIV.json`).
+//!
+//! Exit status is nonzero when a gate fails, so CI can run the binary
+//! directly.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use anneal_arena::{campaign_instance, load_corpus_dir, regression_seed, ArenaInstance};
+use anneal_core::{SaConfig, SaLane, SaScheduler, TurboTuning};
+use anneal_sim::simulate;
+
+/// Gate: corpus-mean (mean of per-instance makespan ratios) ceiling.
+const CORPUS_MEAN_MAX: f64 = 1.005;
+/// Gate: per-instance makespan-ratio ceiling, calibrated at
+/// [`GATE_SEEDS`] seeds (see [`instance_gate`]).
+const INSTANCE_MEAN_MAX: f64 = 1.02;
+/// Seed count the per-instance gate is calibrated for.
+const GATE_SEEDS: u64 = 32;
+
+/// Per-instance ceiling at `seeds` seeds: the calibrated ±2% widened
+/// by `sqrt(32/seeds)` when fewer seeds shrink the sample (never
+/// tightened beyond the calibrated bound for larger samples).
+fn instance_gate(seeds: u64) -> f64 {
+    let scale = (GATE_SEEDS as f64 / seeds as f64).sqrt().max(1.0);
+    1.0 + (INSTANCE_MEAN_MAX - 1.0) * scale
+}
+
+struct StudyArgs {
+    smoke: bool,
+    seeds: u64,
+    campaign: usize,
+    tuning: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> StudyArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "lane_study [--smoke] [--seeds S] [--campaign N] [--tuning] [--out PATH]\n\
+             emits results/LANE_EQUIV.json and exits nonzero when the\n\
+             turbo-vs-exact equivalence gate fails\n\
+             (corpus mean <= {CORPUS_MEAN_MAX}, instance mean <= {INSTANCE_MEAN_MAX})"
+        );
+        std::process::exit(0);
+    }
+    let mut args = StudyArgs {
+        smoke: false,
+        seeds: 32,
+        campaign: 24,
+        tuning: false,
+        out: PathBuf::from("results/LANE_EQUIV.json"),
+    };
+    let mut it = argv.iter();
+    let mut seeds_set = false;
+    let mut campaign_set = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--tuning" => args.tuning = true,
+            "--seeds" => {
+                let s = it.next().and_then(|v| v.parse().ok());
+                args.seeds = s.expect("--seeds needs a count");
+                seeds_set = true;
+            }
+            "--campaign" => {
+                let n = it.next().and_then(|v| v.parse().ok());
+                args.campaign = n.expect("--campaign needs a count");
+                campaign_set = true;
+            }
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+    if args.smoke {
+        if !seeds_set {
+            args.seeds = 8;
+        }
+        if !campaign_set {
+            args.campaign = 8;
+        }
+    }
+    assert!(args.seeds >= 1, "--seeds must be positive");
+    args
+}
+
+/// Final makespan of the staged SA scheduler under `lane` — the same
+/// entry point `tests/sa_lane_corpus.rs` gates.
+fn staged_makespan(inst: &ArenaInstance, lane: SaLane, seed: u64) -> u64 {
+    staged_makespan_tuned(inst, lane, seed, TurboTuning::default())
+}
+
+fn staged_makespan_tuned(
+    inst: &ArenaInstance,
+    lane: SaLane,
+    seed: u64,
+    tuning: TurboTuning,
+) -> u64 {
+    let cfg = SaConfig {
+        turbo_tuning: tuning,
+        ..SaConfig::default().with_seed(seed).with_lane(lane)
+    };
+    let mut sched = SaScheduler::new(cfg);
+    simulate(
+        &inst.graph,
+        &inst.topology,
+        &inst.params,
+        &mut sched,
+        &inst.sim_cfg,
+    )
+    .expect("staged SA schedules the study instance")
+    .makespan
+}
+
+/// Seed `k` of the study stream for `name` (name-derived like the
+/// corpus regression seeds, so the study is stable under reordering).
+fn study_seed(name: &str, k: u64) -> u64 {
+    regression_seed("lane-equiv", name).wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+struct InstanceRow {
+    name: String,
+    source: &'static str,
+    ratios: Vec<f64>,
+    exact_mean_ns: f64,
+    turbo_mean_ns: f64,
+}
+
+impl InstanceRow {
+    /// The gated statistic: ratio of mean final makespans over the
+    /// seed set. Unlike the mean of per-seed ratios, this is unbiased
+    /// when both lanes' distributions have variance.
+    fn makespan_ratio(&self) -> f64 {
+        self.turbo_mean_ns / self.exact_mean_ns
+    }
+
+    /// Mean of per-seed ratios (diagnostic only — Jensen-biased).
+    fn seed_mean(&self) -> f64 {
+        self.ratios.iter().sum::<f64>() / self.ratios.len() as f64
+    }
+
+    /// p95 by the nearest-rank rule on the sorted per-seed ratios.
+    fn p95(&self) -> f64 {
+        let mut sorted = self.ratios.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn worst(&self) -> f64 {
+        self.ratios.iter().cloned().fold(f64::MIN, f64::max)
+    }
+
+    fn best(&self) -> f64 {
+        self.ratios.iter().cloned().fold(f64::MAX, f64::min)
+    }
+}
+
+fn study_instances(args: &StudyArgs) -> Vec<(ArenaInstance, &'static str)> {
+    let corpus = load_corpus_dir("corpus").expect("corpus/ must load cleanly");
+    let mut out = Vec::new();
+    for fi in &corpus {
+        // Smoke keeps only the instances frozen *against staged SA* —
+        // the adversarially hardest subset for this lane.
+        if args.smoke && !fi.name().starts_with("sa-") {
+            continue;
+        }
+        let inst = fi.to_instance().expect("frozen instance replays");
+        out.push((inst, "corpus"));
+    }
+    assert!(!out.is_empty(), "corpus must hold study instances");
+    for i in 0..args.campaign {
+        out.push((campaign_instance(42, i), "campaign"));
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let instances = study_instances(&args);
+
+    let mut rows: Vec<InstanceRow> = Vec::with_capacity(instances.len());
+    for (inst, source) in &instances {
+        let mut ratios = Vec::with_capacity(args.seeds as usize);
+        let mut exact_sum = 0.0;
+        let mut turbo_sum = 0.0;
+        for k in 0..args.seeds {
+            let seed = study_seed(&inst.name, k);
+            let exact = staged_makespan(inst, SaLane::Exact, seed);
+            let turbo = staged_makespan(inst, SaLane::Turbo, seed);
+            ratios.push(turbo as f64 / exact as f64);
+            exact_sum += exact as f64;
+            turbo_sum += turbo as f64;
+        }
+        rows.push(InstanceRow {
+            name: inst.name.clone(),
+            source,
+            ratios,
+            exact_mean_ns: exact_sum / args.seeds as f64,
+            turbo_mean_ns: turbo_sum / args.seeds as f64,
+        });
+        let row = rows.last().expect("just pushed");
+        println!(
+            "{:32} makespan {:.4}  seed-mean {:.4}  p95 {:.4}  worst {:.4}",
+            row.name,
+            row.makespan_ratio(),
+            row.seed_mean(),
+            row.p95(),
+            row.worst()
+        );
+    }
+
+    let corpus_mean = rows.iter().map(InstanceRow::makespan_ratio).sum::<f64>() / rows.len() as f64;
+    let (worst_name, worst_mean) = rows
+        .iter()
+        .map(|r| (r.name.as_str(), r.makespan_ratio()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"))
+        .expect("nonempty study");
+    let worst_seed = rows.iter().map(InstanceRow::worst).fold(f64::MIN, f64::max);
+    let instance_max = instance_gate(args.seeds);
+    let gate_pass =
+        corpus_mean <= CORPUS_MEAN_MAX && rows.iter().all(|r| r.makespan_ratio() <= instance_max);
+
+    // Attribution rows: each lossy ingredient disabled in isolation,
+    // quality-only, over the corpus subset (the adversarial instances).
+    let mut tuning_rows: Vec<(String, f64)> = Vec::new();
+    if args.tuning {
+        let variants: [(&str, TurboTuning); 4] = [
+            ("turbo", TurboTuning::default()),
+            (
+                "no-counter-rng",
+                TurboTuning {
+                    counter_rng: false,
+                    ..TurboTuning::default()
+                },
+            ),
+            (
+                "no-midpoint-accept",
+                TurboTuning {
+                    midpoint_accept: false,
+                    ..TurboTuning::default()
+                },
+            ),
+            (
+                "no-f32-tables",
+                TurboTuning {
+                    f32_tables: false,
+                    ..TurboTuning::default()
+                },
+            ),
+        ];
+        let seeds = args.seeds.min(8);
+        for (vname, tuning) in variants {
+            let mut means = Vec::new();
+            for (inst, source) in &instances {
+                if *source != "corpus" {
+                    continue;
+                }
+                let mut exact_sum = 0.0;
+                let mut turbo_sum = 0.0;
+                for k in 0..seeds {
+                    let seed = study_seed(&inst.name, k);
+                    exact_sum += staged_makespan(inst, SaLane::Exact, seed) as f64;
+                    turbo_sum += staged_makespan_tuned(inst, SaLane::Turbo, seed, tuning) as f64;
+                }
+                means.push(turbo_sum / exact_sum);
+            }
+            let mean = means.iter().sum::<f64>() / means.len() as f64;
+            println!("tuning {vname:20} corpus mean {mean:.4}");
+            tuning_rows.push((vname.to_string(), mean));
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the workspace); deterministic field
+    // order and fixed-precision floats, so re-runs are byte-identical.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"study\": \"lane_equivalence\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if args.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"lanes\": [\"exact\", \"turbo\"],");
+    let _ = writeln!(json, "  \"seeds_per_instance\": {},", args.seeds);
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"corpus_mean_max\": {CORPUS_MEAN_MAX}, \
+         \"instance_mean_max\": {:.6}, \"instance_mean_max_calibrated\": {INSTANCE_MEAN_MAX}, \
+         \"calibration_seeds\": {GATE_SEEDS}}},",
+        instance_gate(args.seeds)
+    );
+    json.push_str("  \"instances\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"source\": \"{}\", \"makespan_ratio\": {:.6}, \
+             \"seed_mean_ratio\": {:.6}, \"p95_ratio\": {:.6}, \"worst_ratio\": {:.6}, \
+             \"best_ratio\": {:.6}, \"exact_mean_ns\": {:.1}, \"turbo_mean_ns\": {:.1}}}",
+            r.name,
+            r.source,
+            r.makespan_ratio(),
+            r.seed_mean(),
+            r.p95(),
+            r.worst(),
+            r.best(),
+            r.exact_mean_ns,
+            r.turbo_mean_ns
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"corpus_mean_ratio\": {corpus_mean:.6}, \
+         \"worst_instance\": \"{worst_name}\", \"worst_instance_mean\": {worst_mean:.6}, \
+         \"worst_seed_ratio\": {worst_seed:.6}, \"gate_pass\": {gate_pass}}},"
+    );
+    json.push_str("  \"tuning\": [");
+    for (i, (vname, mean)) in tuning_rows.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(
+            json,
+            "{{\"variant\": \"{vname}\", \"corpus_mean_ratio\": {mean:.6}}}"
+        );
+    }
+    json.push_str("]\n}\n");
+
+    if let Some(parent) = args.out.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(&args.out, &json).expect("write LANE_EQUIV.json");
+    println!(
+        "\ncorpus makespan ratio {corpus_mean:.4} (max {CORPUS_MEAN_MAX}), worst instance \
+         {worst_name} {worst_mean:.4} (max {instance_max:.4} at {} seeds), worst per-seed \
+         ratio {worst_seed:.4}",
+        args.seeds
+    );
+    println!("wrote {}", args.out.display());
+
+    if !gate_pass {
+        eprintln!("EQUIVALENCE GATE FAILED");
+        std::process::exit(1);
+    }
+    println!("equivalence gate: PASS");
+}

@@ -28,7 +28,19 @@
 //!   every in-range proposal from the table's bucket midpoint and never
 //!   evaluates `exp()` for it. It is validated *statistically* (the
 //!   acceptance rate tracks the true Boltzmann probability to within
-//!   the bucket width), not bit-for-bit.
+//!   the bucket width), not bit-for-bit. It still consumes the exact
+//!   lane's RNG draw counts.
+//! * [`SaLane::Turbo`] — the certified-lossy lane: it drops the RNG
+//!   stream contract entirely. Proposals draw from a counter-based
+//!   stream ([`crate::rng_stream`], batched with no sequential
+//!   dependency), bounded draws use a multiply-high reduction instead
+//!   of zone rejection, acceptance is the pure midpoint threshold
+//!   ([`AcceptTable::turbo_threshold`]) with **no** exact-fallback
+//!   slack bands, and the per-packet cost tables are optionally `f32`.
+//!   Each ingredient toggles independently via [`TurboTuning`]. The
+//!   lane is certified by a corpus-scale statistical equivalence study
+//!   (`lane_study` bin → `results/LANE_EQUIV.json`, gated in
+//!   `tests/sa_lane_turbo.rs`), not by any bitwise oracle.
 //!
 //! # The oracle contract
 //!
@@ -71,21 +83,45 @@ pub enum SaLane {
     /// Flat delta tables + bucket-midpoint acceptance: no `exp()` on
     /// the hot path, validated statistically only. Opt-in.
     Quantized,
+    /// Certified-lossy fast lane: counter-based RNG streams
+    /// ([`crate::rng_stream`]), no-fallback midpoint acceptance and
+    /// `f32` cost tables. No bitwise or draw-count contract — gated by
+    /// the corpus-scale statistical equivalence study instead.
+    Turbo,
 }
 
 impl SaLane {
+    /// Every lane, in CLI/display order (what `--sa-lane` accepts).
+    pub const ALL: [SaLane; 4] = [
+        SaLane::Exact,
+        SaLane::DeltaTable,
+        SaLane::Quantized,
+        SaLane::Turbo,
+    ];
+
     /// Stable lowercase name (CSV provenance, CLI flags).
     pub fn name(self) -> &'static str {
         match self {
             SaLane::Exact => "exact",
             SaLane::DeltaTable => "delta-table",
             SaLane::Quantized => "quantized",
+            SaLane::Turbo => "turbo",
         }
+    }
+
+    /// The valid `--sa-lane` values as a human-readable list (CLI help
+    /// and bad-argument errors).
+    pub fn name_list() -> String {
+        SaLane::ALL
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     /// Whether this lane is bit-identical to [`SaLane::Exact`].
     pub fn is_lossless(self) -> bool {
-        !matches!(self, SaLane::Quantized)
+        !matches!(self, SaLane::Quantized | SaLane::Turbo)
     }
 }
 
@@ -98,15 +134,19 @@ impl fmt::Display for SaLane {
 impl FromStr for SaLane {
     type Err = String;
 
+    /// Case-insensitive: `Turbo`, `TURBO` and `turbo` all parse.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "exact" => Ok(SaLane::Exact),
-            "delta-table" => Ok(SaLane::DeltaTable),
-            "quantized" => Ok(SaLane::Quantized),
-            other => Err(format!(
-                "unknown SA lane '{other}' (expected 'exact', 'delta-table', or 'quantized')"
-            )),
-        }
+        let lower = s.to_ascii_lowercase();
+        SaLane::ALL
+            .iter()
+            .find(|l| l.name() == lower)
+            .copied()
+            .ok_or_else(|| {
+                format!(
+                    "unknown SA lane '{s}' (expected one of: {})",
+                    SaLane::name_list()
+                )
+            })
     }
 }
 
@@ -205,8 +245,25 @@ struct Bucket {
     lo: f64,
     /// `u ≥ hi` proves reject (`hi ≥ p` everywhere in the bucket).
     hi: f64,
-    /// Midpoint probability, the `Quantized` lane's threshold.
+    /// **Midpoint-threshold invariant** (the documented decision rule
+    /// of the `Quantized` and `Turbo` lanes, surfaced by
+    /// [`AcceptTable::turbo_threshold`]): `mid` is the *exact*
+    /// acceptance probability evaluated at the bucket's center
+    /// `x_center = x_lo + (i + ½)·w` — not an average, not an
+    /// interpolation — and a lossy decision is `u < mid` for one
+    /// uniform draw `u ∈ [0, 1)`. Because both rules are monotone
+    /// decreasing in `x`, `mid` always lies inside the conservative
+    /// bracket: `lo ≤ mid ≤ hi` (up to the bracket slack), so the
+    /// midpoint decision can only differ from the exact decision when
+    /// `u` falls inside the bucket's probability span (≤ the bucket
+    /// width in probability, ~2.5e-4). Pinned by the
+    /// `midpoint_threshold_semantics_are_pinned` test.
     mid: f64,
+    /// `mid` premultiplied into 53-bit draw space:
+    /// `⌊mid · 2⁵³⌋`, so the turbo loop decides `(draw >> 11) <
+    /// mid_bits` with no int→float conversion per move (see
+    /// [`AcceptTable::turbo_threshold_bits`]).
+    mid_bits: u64,
     /// The bucket brushes `p == 1.0`, where even the *number* of RNG
     /// draws depends on the exact probability — delegate wholesale.
     exact: bool,
@@ -253,6 +310,11 @@ const TABLE_BUCKETS: usize = 4096;
 /// microscopically thin.
 const TABLE_SLACK: f64 = 1e-12;
 
+/// The turbo draw space: acceptance draws are the top 53 bits of a
+/// `u64`, uniform on `[0, 2⁵³)`; a threshold of `TURBO_DRAW_SPAN`
+/// accepts every draw.
+pub const TURBO_DRAW_SPAN: u64 = 1 << 53;
+
 impl AcceptTable {
     fn build(rule: AcceptanceRule) -> AcceptTable {
         // HeatBath: p(x) = 1/(1+eˣ). For x ≤ −37, eˣ ≤ 8.6e-17 < 2⁻⁵³
@@ -286,6 +348,7 @@ impl AcceptTable {
                 lo: pr - TABLE_SLACK,
                 hi: pl + TABLE_SLACK,
                 mid,
+                mid_bits: (mid * TURBO_DRAW_SPAN as f64) as u64,
                 exact: pl >= near_one,
             });
         }
@@ -330,6 +393,96 @@ impl AcceptTable {
         counters: &mut LaneCounters,
     ) -> bool {
         self.decide(delta, temp, rng, true, counters)
+    }
+
+    /// The turbo lane's draw-free decision rule: for `x = ΔF/T`,
+    /// returns the probability threshold `th` such that the acceptance
+    /// decision is `u < th` for a single uniform draw `u ∈ [0, 1)`.
+    ///
+    /// This is the **no-fallback midpoint rule** — the documented
+    /// invariant the turbo lane is built on (see the `Bucket::mid`
+    /// field contract):
+    ///
+    /// * `x ≤ x_lo` (provable accept region; for Metropolis this is
+    ///   `x ≤ 0`) → `1.0` (always accept);
+    /// * `x ≥ tail_from` → `0.0` (always reject — this swallows both
+    ///   the `p < 2⁻⁵³` tail and the `x > 700` overflow region, *for
+    ///   both rules*: where the lossless lane delegates Metropolis
+    ///   beyond 700 to the exact path because the draw count is at
+    ///   stake, turbo simply rejects a `p ≤ e⁻⁷⁰⁰` move);
+    /// * otherwise → the bucket's exact center probability `mid`,
+    ///   **including** the `exact`-marked buckets the
+    ///   lossless/quantized lanes delegate (there `mid` rounds to
+    ///   ~1.0, so the decision is a near-certain accept).
+    ///
+    /// A NaN `x` saturates to bucket 0 (threshold ≈ 1, near-certain
+    /// accept) instead of panicking — a documented divergence from the
+    /// exact lane, whose `gen_bool` panics on NaN. Monotone
+    /// non-increasing in `x` up to the bracket slack.
+    #[inline]
+    pub fn turbo_threshold(&self, x: f64) -> f64 {
+        if x <= self.x_lo {
+            return 1.0;
+        }
+        if x >= self.tail_from {
+            return 0.0;
+        }
+        let i = (((x - self.x_lo) * self.inv_w) as usize).min(self.buckets.len() - 1);
+        self.buckets[i].mid
+    }
+
+    /// [`AcceptTable::turbo_threshold`] in integer draw space: the
+    /// decision for one draw `v` is `(v >> 11) < bits`, so the hot
+    /// loop compares two integers instead of converting the draw to a
+    /// `f64` every move. Returns [`TURBO_DRAW_SPAN`] for the certain
+    /// accept region and `0` for certain reject; in between,
+    /// `⌊mid · 2⁵³⌋` (precomputed per bucket). The flooring merges the
+    /// `p < 2⁻⁵³` bucket tail into certain reject — a ≤ 2⁻⁵³ per-move
+    /// probability shift against the `f64` rule, far inside the lossy
+    /// lane's statistical contract (pinned against the `f64` form by
+    /// `turbo_threshold_bits_mirror_the_float_rule`).
+    #[inline]
+    pub fn turbo_threshold_bits(&self, x: f64) -> u64 {
+        if x <= self.x_lo {
+            return TURBO_DRAW_SPAN;
+        }
+        if x >= self.tail_from {
+            return 0;
+        }
+        let i = (((x - self.x_lo) * self.inv_w) as usize).min(self.buckets.len() - 1);
+        self.buckets[i].mid_bits
+    }
+
+    /// Turbo accept/reject: the [`AcceptTable::turbo_threshold`]
+    /// midpoint rule with at most one uniform draw and **zero** exact
+    /// fallbacks — `counters.fallback` is never incremented (pinned by
+    /// tests). Certain decisions (threshold 0 or 1, frozen
+    /// temperature) consume no draw, so the RNG stream position is
+    /// *not* the exact lane's: this entry is only for lossy-lane
+    /// callers (static SA's turbo arm, [`SaScratch::anneal_turbo`]).
+    #[inline]
+    pub fn accept_turbo<R: RngCore + ?Sized>(
+        &self,
+        delta: f64,
+        temp: f64,
+        rng: &mut R,
+        counters: &mut LaneCounters,
+    ) -> bool {
+        if temp <= TEMP_EPSILON {
+            counters.shortcut += 1;
+            return delta < 0.0;
+        }
+        let th = self.turbo_threshold(delta / temp);
+        if th >= 1.0 {
+            counters.shortcut += 1;
+            true
+        } else if th <= 0.0 {
+            counters.shortcut += 1;
+            false
+        } else {
+            counters.table += 1;
+            unit_f64(rng) < th
+        }
     }
 
     #[inline]
@@ -421,6 +574,46 @@ pub fn accept_table(rule: AcceptanceRule) -> &'static AcceptTable {
 /// Sentinel for "unassigned" in the flat mapping arrays.
 const NONE: u32 = u32::MAX;
 
+/// Attribution toggles for the turbo lane's three lossy ingredients.
+/// All default to `true` (the shipped turbo configuration); flipping
+/// one off isolates its contribution to speed and to the equivalence
+/// study (`lane_study --tuning` rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TurboTuning {
+    /// Draw proposals and acceptance from the counter-based stream
+    /// ([`crate::rng_stream::CounterRng`], incremental Weyl state) instead of
+    /// the scheduler's sequential generator. This toggle is honored by
+    /// the *caller* ([`crate::sa::SaScheduler`] picks which generator
+    /// to pass); [`SaScratch::anneal_turbo`] itself is generic over the
+    /// stream.
+    pub counter_rng: bool,
+    /// Decide acceptance from the no-fallback midpoint threshold
+    /// ([`AcceptTable::turbo_threshold`]); `false` falls back to the
+    /// lossless banded decision (still on the turbo draw plan).
+    pub midpoint_accept: bool,
+    /// Price moves from `f32` copies of the level/communication tables
+    /// (half the cache footprint; deltas still accumulate in `f64`).
+    ///
+    /// **Off by default**: the corpus study shows quality is
+    /// unaffected, but at the paper's packet sizes (≤ ~100 candidates
+    /// × ≤ 16 processors) both tables already fit in L1, so the
+    /// per-move `f32 → f64` converts outweigh the bandwidth saving —
+    /// a measured ~5% *loss* on baseline x86-64 (`lane_study
+    /// --tuning` records the attribution). The toggle stays for wider
+    /// topologies, where the footprint argument starts to hold.
+    pub f32_tables: bool,
+}
+
+impl Default for TurboTuning {
+    fn default() -> Self {
+        TurboTuning {
+            counter_rng: true,
+            midpoint_accept: true,
+            f32_tables: false,
+        }
+    }
+}
+
 /// What one fast-lane packet run produced (the flat-lane analogue of
 /// [`PacketOutcome`]; the final mapping stays in the scratch).
 #[derive(Debug, Clone)]
@@ -451,6 +644,11 @@ pub struct SaScratch {
     lv: Vec<f64>,
     /// Row-major `comm_cost[t * p + j] as f64`, the eq. 4/5 operand.
     cc: Vec<f64>,
+    /// `f32` copy of `lv` (turbo lane, [`TurboTuning::f32_tables`]);
+    /// filled lazily by [`SaScratch::anneal_turbo`].
+    lv32: Vec<f32>,
+    /// `f32` copy of `cc` (turbo lane).
+    cc32: Vec<f32>,
     worst: Vec<u64>,
     sort_buf: Vec<u64>,
     preds: Vec<(ProcId, Work)>,
@@ -847,6 +1045,336 @@ impl SaScratch {
             trace,
         }
     }
+
+    /// Fills the `f32` table copies from the loaded `f64` tables.
+    fn fill_f32(&mut self) {
+        self.lv32.clear();
+        self.lv32.extend(self.lv.iter().map(|&v| v as f32));
+        self.cc32.clear();
+        self.cc32.extend(self.cc.iter().map(|&v| v as f32));
+    }
+
+    /// [`SaScratch::raw_full`] over the `f32` tables, so the turbo
+    /// lane's running sums start from the same values its deltas are
+    /// priced in.
+    fn raw_full32(&self) -> (f64, f64) {
+        let mut fb = 0.0;
+        let mut fc = 0.0;
+        for (t, &pr) in self.proc_of.iter().enumerate() {
+            if pr != NONE {
+                fb -= self.lv32[t] as f64;
+                fc += self.cc32[t * self.p + pr as usize] as f64;
+            }
+        }
+        (fb, fc)
+    }
+
+    /// Runs the **turbo** lane's annealing loop on the loaded packet —
+    /// the certified-lossy counterpart of [`SaScratch::anneal_loaded`].
+    ///
+    /// Same proposal distribution, cooling schedule, convergence rule
+    /// and keep-best semantics as the exact engine, but none of its
+    /// bit-level contracts:
+    ///
+    /// * task/processor draws use a multiply-high (Lemire) reduction —
+    ///   one draw per proposal, no zone-rejection loop. The
+    ///   "processor ≠ current" constraint is met by drawing from
+    ///   `p − 1` values and skipping past the current processor
+    ///   instead of redrawing (bias `< p/2⁶⁴`: immeasurable);
+    /// * acceptance is the no-fallback midpoint threshold
+    ///   ([`AcceptTable::turbo_threshold`]) on a per-temperature-step
+    ///   precomputed `1/T` — zero `exp()` on the hot path
+    ///   ([`TurboTuning::midpoint_accept`]);
+    /// * the eq. 6 normalization is folded into two precomputed
+    ///   multipliers (`w_b/ΔF_b`, `w_c/ΔF_c`), removing both per-move
+    ///   divisions;
+    /// * cost tables are optionally `f32` ([`TurboTuning::f32_tables`])
+    ///   with `f64` accumulators.
+    ///
+    /// `rng` is whatever stream the caller chose —
+    /// [`crate::rng_stream::CounterRng`] in the shipped configuration
+    /// ([`TurboTuning::counter_rng`]), the sequential generator under
+    /// attribution runs. Deterministic per `(rng stream, params)`;
+    /// certified against the exact lane statistically (see
+    /// `tests/sa_lane_turbo.rs` and `results/LANE_EQUIV.json`), never
+    /// bitwise.
+    pub fn anneal_turbo<R: RngCore + ?Sized>(
+        &mut self,
+        params: &AnnealParams,
+        rng: &mut R,
+        tuning: TurboTuning,
+        want_trace: bool,
+        counters: &mut LaneCounters,
+    ) -> LaneOutcome {
+        // Monomorphize the hot loop on the per-move toggles: the
+        // branches are perfectly predictable, but keeping them out of
+        // the loop body entirely frees issue slots and lets the
+        // `TRACE = false` instantiations drop the sample bookkeeping
+        // at compile time.
+        match (tuning.f32_tables, tuning.midpoint_accept, want_trace) {
+            (true, true, false) => self.turbo_core::<R, true, true, false>(params, rng, counters),
+            (true, true, true) => self.turbo_core::<R, true, true, true>(params, rng, counters),
+            (true, false, false) => self.turbo_core::<R, true, false, false>(params, rng, counters),
+            (true, false, true) => self.turbo_core::<R, true, false, true>(params, rng, counters),
+            (false, true, false) => self.turbo_core::<R, false, true, false>(params, rng, counters),
+            (false, true, true) => self.turbo_core::<R, false, true, true>(params, rng, counters),
+            (false, false, false) => {
+                self.turbo_core::<R, false, false, false>(params, rng, counters)
+            }
+            (false, false, true) => self.turbo_core::<R, false, false, true>(params, rng, counters),
+        }
+    }
+
+    /// The monomorphized turbo loop behind [`SaScratch::anneal_turbo`]
+    /// (`F32` = `f32` cost tables, `MID` = midpoint acceptance,
+    /// `TRACE` = record per-move samples).
+    fn turbo_core<R: RngCore + ?Sized, const F32: bool, const MID: bool, const TRACE: bool>(
+        &mut self,
+        params: &AnnealParams,
+        rng: &mut R,
+        counters: &mut LaneCounters,
+    ) -> LaneOutcome {
+        let n = self.n;
+        let p = self.p;
+        assert!(n > 0 && p > 0, "empty packet");
+        let table = accept_table(params.acceptance);
+        if F32 {
+            self.fill_f32();
+        }
+
+        match params.init {
+            InitRule::Random => self.saturate_random(rng),
+            InitRule::InOrder => self.saturate_in_order(),
+        }
+        let (mut fb, mut fc) = if F32 {
+            self.raw_full32()
+        } else {
+            self.raw_full()
+        };
+        // Eq. 6 with the divisions hoisted: total = kb·F_b + kc·F_c.
+        let kb = self.wb / self.range_b;
+        let kc = self.wc / self.range_c;
+        let mut cost = kb * fb + kc * fc;
+        let mut best_cost = cost;
+        self.best_proc_of.copy_from_slice(&self.proc_of);
+
+        let mut trace = TRACE.then(|| PacketTrace {
+            packet: 0,
+            epoch_time: self.epoch_time,
+            candidates: n,
+            idle: p,
+            samples: Vec::with_capacity(params.max_iters as usize),
+        });
+
+        let moves_per_temp = if params.moves_per_temp == 0 {
+            (2 * n).max(8)
+        } else {
+            params.moves_per_temp
+        };
+
+        // Multiply-high bounded draw on a 32-bit word: maps it onto
+        // [0, bound) with one widening multiply (bias < bound/2³²;
+        // packet dimensions are far below 2¹⁶, so the bias is
+        // negligible). One 64-bit draw supplies both indices of a
+        // move — task from the high half, processor from the low half
+        // — halving the draw count of the selection step.
+        #[inline]
+        fn mulhi32(v: u32, bound: u64) -> usize {
+            ((u64::from(v) * bound) >> 32) as usize
+        }
+
+        let mut accepted_count = 0u64;
+        let mut stable = 0u64;
+        let mut k = 0u64;
+        let mut moves = 0u64;
+        // Decision counters stay in registers for the whole run; the
+        // shared `LaneCounters` is settled once at the end.
+        let mut n_shortcut = 0u64;
+        let mut n_table = 0u64;
+        while k < params.max_iters && stable < params.stable_iters {
+            let temp = params.cooling.temperature(k);
+            let frozen = temp <= TEMP_EPSILON;
+            let inv_temp = if frozen { 0.0 } else { 1.0 / temp };
+            let mut cost_changed = false;
+            for _ in 0..moves_per_temp {
+                let w = rng.next_u64();
+                let task = mulhi32((w >> 32) as u32, n as u64);
+                let cur = self.proc_of[task];
+                let mut was_accepted = false;
+                if !(p == 1 && cur == 0) {
+                    // Draw a processor ≠ current by skipping past it
+                    // (low half of the same word, no rejection loop).
+                    let proc = if cur == NONE {
+                        mulhi32(w as u32, p as u64)
+                    } else {
+                        let r = mulhi32(w as u32, (p - 1) as u64);
+                        r + usize::from(r as u32 >= cur)
+                    };
+                    let occ = self.task_at[proc];
+                    let (dfb, dfc) = if F32 {
+                        self.price_move32(task, cur, proc, occ)
+                    } else {
+                        self.price_move(task, cur, proc, occ)
+                    };
+                    // Lossy shortcut: price the delta directly instead
+                    // of re-deriving it from two full-cost sums (the
+                    // exact lane's association; numerically different,
+                    // covered by the statistical contract).
+                    let delta = kb * dfb + kc * dfc;
+                    let acc = if frozen {
+                        n_shortcut += 1;
+                        delta < 0.0
+                    } else if MID {
+                        // Unconditional draw: certain decisions burn a
+                        // word the `f64` rule would skip, but the draw
+                        // no longer waits on the threshold compare
+                        // (the counter stream is cheap and certain
+                        // buckets are <10% of warm-phase moves), and
+                        // the accept decision is one branch-free
+                        // integer compare.
+                        let tb = table.turbo_threshold_bits(delta * inv_temp);
+                        let certain = u64::from(tb == TURBO_DRAW_SPAN || tb == 0);
+                        n_shortcut += certain;
+                        n_table += 1 - certain;
+                        (rng.next_u64() >> 11) < tb
+                    } else {
+                        table.accept_lossless(delta, temp, rng, counters)
+                    };
+                    if acc {
+                        if occ == NONE {
+                            if cur != NONE {
+                                self.task_at[cur as usize] = NONE;
+                            }
+                        } else if cur != NONE {
+                            self.proc_of[occ as usize] = cur;
+                            self.task_at[cur as usize] = occ;
+                        } else {
+                            self.proc_of[occ as usize] = NONE;
+                        }
+                        self.proc_of[task] = proc as u32;
+                        self.task_at[proc] = task as u32;
+                        if TRACE {
+                            fb += dfb;
+                            fc += dfc;
+                        }
+                        was_accepted = true;
+                        accepted_count += 1;
+                        cost_changed |= delta.abs() > 1e-12;
+                        cost += delta;
+                    }
+                }
+                if let Some(tr) = trace.as_mut() {
+                    tr.samples.push(TraceSample {
+                        iter: moves,
+                        temp,
+                        f_b_raw: fb,
+                        f_c_raw: fc,
+                        f_b_norm: kb * fb,
+                        f_c_norm: kc * fc,
+                        f_total: cost,
+                        accepted: was_accepted,
+                    });
+                }
+                moves += 1;
+            }
+            // Keep-best at temperature-step granularity: the exact
+            // lane snapshots the mapping on every improving move; here
+            // the O(n) copy amortizes over the 2n moves of the step
+            // (lossy — an intra-step best can be lost; covered by the
+            // statistical contract).
+            if params.keep_best && cost < best_cost {
+                best_cost = cost;
+                self.best_proc_of.copy_from_slice(&self.proc_of);
+            }
+            if cost_changed {
+                stable = 0;
+            } else {
+                stable += 1;
+            }
+            k += 1;
+        }
+        counters.shortcut += n_shortcut;
+        counters.table += n_table;
+
+        let final_cost = if params.keep_best && best_cost < cost {
+            self.proc_of.copy_from_slice(&self.best_proc_of);
+            best_cost
+        } else {
+            cost
+        };
+        LaneOutcome {
+            iterations: k,
+            moves,
+            accepted: accepted_count,
+            final_cost,
+            trace,
+        }
+    }
+
+    /// Prices a transfer/swap of `task` (on `cur`) to `proc` (holding
+    /// `occ`) from the `f64` tables — the exact lane's verbatim
+    /// expressions, shared with [`SaScratch::anneal_loaded`]'s inline
+    /// form.
+    #[inline]
+    fn price_move(&self, task: usize, cur: u32, proc: usize, occ: u32) -> (f64, f64) {
+        let p = self.p;
+        if occ == NONE {
+            let (old_fb, old_fc) = if cur != NONE {
+                (-self.lv[task], self.cc[task * p + cur as usize])
+            } else {
+                (0.0, 0.0)
+            };
+            (-self.lv[task] - old_fb, self.cc[task * p + proc] - old_fc)
+        } else {
+            let other = occ as usize;
+            if cur != NONE {
+                let f = cur as usize;
+                let fc_before = self.cc[task * p + f] + self.cc[other * p + proc];
+                let fc_after = self.cc[task * p + proc] + self.cc[other * p + f];
+                (0.0, fc_after - fc_before)
+            } else {
+                let fb_before = -self.lv[other];
+                let fb_after = -self.lv[task];
+                let fc_before = self.cc[other * p + proc];
+                let fc_after = self.cc[task * p + proc];
+                (fb_after - fb_before, fc_after - fc_before)
+            }
+        }
+    }
+
+    /// [`SaScratch::price_move`] over the `f32` tables (`f64` deltas).
+    #[inline]
+    fn price_move32(&self, task: usize, cur: u32, proc: usize, occ: u32) -> (f64, f64) {
+        let p = self.p;
+        if occ == NONE {
+            let (old_fb, old_fc) = if cur != NONE {
+                (
+                    -(self.lv32[task] as f64),
+                    self.cc32[task * p + cur as usize] as f64,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            (
+                -(self.lv32[task] as f64) - old_fb,
+                self.cc32[task * p + proc] as f64 - old_fc,
+            )
+        } else {
+            let other = occ as usize;
+            if cur != NONE {
+                let f = cur as usize;
+                let fc_before = self.cc32[task * p + f] as f64 + self.cc32[other * p + proc] as f64;
+                let fc_after = self.cc32[task * p + proc] as f64 + self.cc32[other * p + f] as f64;
+                (0.0, fc_after - fc_before)
+            } else {
+                let fb_before = -(self.lv32[other] as f64);
+                let fb_after = -(self.lv32[task] as f64);
+                let fc_before = self.cc32[other * p + proc] as f64;
+                let fc_after = self.cc32[task * p + proc] as f64;
+                (fb_after - fb_before, fc_after - fc_before)
+            }
+        }
+    }
 }
 
 /// Shared configuration for [`anneal_packet_lane`].
@@ -868,7 +1396,10 @@ pub struct LaneRun<'a> {
 
 /// Runs one packet through the selected lane and returns an exact-lane
 /// compatible [`PacketOutcome`] — the single entry point the equality
-/// oracle tests drive for all three lanes.
+/// oracle tests drive for every lane. The turbo arm runs on the
+/// caller's `rng` as-is; the counter-based stream swap
+/// ([`TurboTuning::counter_rng`]) happens one level up, in
+/// [`crate::sa::SaScheduler`].
 pub fn anneal_packet_lane<R: Rng + ?Sized>(
     packet: &AnnealingPacket,
     run: &LaneRun<'_>,
@@ -880,6 +1411,24 @@ pub fn anneal_packet_lane<R: Rng + ?Sized>(
         SaLane::Exact => {
             let cm = CostModel::new(packet, run.wb, run.wc, run.balance);
             crate::annealer::anneal_packet(packet, &cm, run.params, rng, run.want_trace)
+        }
+        SaLane::Turbo => {
+            scratch.load_packet(packet, run.wb, run.wc, run.balance);
+            let out = scratch.anneal_turbo(
+                run.params,
+                rng,
+                TurboTuning::default(),
+                run.want_trace,
+                counters,
+            );
+            PacketOutcome {
+                assignment: scratch.assignments().collect(),
+                iterations: out.iterations,
+                moves: out.moves,
+                accepted: out.accepted,
+                final_cost: out.final_cost,
+                trace: out.trace,
+            }
         }
         lane => {
             scratch.load_packet(packet, run.wb, run.wc, run.balance);
@@ -1112,18 +1661,209 @@ mod tests {
 
     #[test]
     fn lane_names_round_trip() {
-        for lane in [SaLane::Exact, SaLane::DeltaTable, SaLane::Quantized] {
+        for lane in SaLane::ALL {
             assert_eq!(lane.name().parse::<SaLane>(), Ok(lane));
             assert_eq!(lane.to_string(), lane.name());
+            // Case-insensitive parsing (satellite: CLI ergonomics).
+            assert_eq!(lane.name().to_ascii_uppercase().parse::<SaLane>(), Ok(lane));
         }
+        assert_eq!("Delta-Table".parse::<SaLane>(), Ok(SaLane::DeltaTable));
+        assert_eq!("TURBO".parse::<SaLane>(), Ok(SaLane::Turbo));
         assert_eq!(SaLane::default(), SaLane::DeltaTable);
+        assert!(SaLane::Exact.is_lossless());
         assert!(SaLane::DeltaTable.is_lossless());
         assert!(!SaLane::Quantized.is_lossless());
+        assert!(!SaLane::Turbo.is_lossless());
+        assert_eq!(SaLane::name_list(), "exact, delta-table, quantized, turbo");
         let err = "bogus".parse::<SaLane>().unwrap_err();
         assert_eq!(
             err,
-            "unknown SA lane 'bogus' (expected 'exact', 'delta-table', or 'quantized')"
+            "unknown SA lane 'bogus' (expected one of: exact, delta-table, quantized, turbo)"
         );
+    }
+
+    /// Pins the midpoint-threshold invariant documented on `Bucket::mid`
+    /// and surfaced by [`AcceptTable::turbo_threshold`]: the threshold
+    /// is the exact probability at the bucket center, it sits inside the
+    /// conservative bracket, and the region shortcuts match the table's
+    /// provable-decision seams.
+    #[test]
+    fn midpoint_threshold_semantics_are_pinned() {
+        for rule in rules() {
+            let t = accept_table(rule);
+            let w = 1.0 / t.inv_w;
+            for (i, b) in t.buckets.iter().enumerate() {
+                let x_center = t.x_lo + (i as f64 + 0.5) * w;
+                assert_eq!(
+                    b.mid,
+                    acceptance_probability(rule, x_center, 1.0),
+                    "{rule:?} bucket {i}: mid must be the exact center probability"
+                );
+                assert!(
+                    b.lo <= b.mid && b.mid <= b.hi,
+                    "{rule:?} bucket {i}: mid outside the conservative bracket"
+                );
+                // The no-fallback rule reads mid for every in-range x,
+                // including the exact-marked buckets the lossless lane
+                // delegates.
+                assert_eq!(t.turbo_threshold(x_center), b.mid, "{rule:?} bucket {i}");
+            }
+            // Region seams.
+            assert_eq!(t.turbo_threshold(t.x_lo), 1.0);
+            assert_eq!(t.turbo_threshold(f64::NEG_INFINITY), 1.0);
+            assert_eq!(t.turbo_threshold(t.tail_from), 0.0);
+            assert_eq!(t.turbo_threshold(701.0), 0.0);
+            assert_eq!(t.turbo_threshold(f64::INFINITY), 0.0);
+            // NaN saturates to bucket 0 (near-certain accept), no panic.
+            assert!(t.turbo_threshold(f64::NAN) > 0.99);
+            // Monotone non-increasing scan (up to bracket slack).
+            let mut prev = 1.0;
+            let mut x = t.x_lo;
+            while x < t.tail_from + 1.0 {
+                let th = t.turbo_threshold(x);
+                assert!(
+                    th <= prev + 2.0 * TABLE_SLACK,
+                    "{rule:?}: threshold not monotone at x={x}"
+                );
+                prev = th;
+                x += w * 0.37;
+            }
+        }
+    }
+
+    /// Pins the integer-draw-space form the turbo loop decides on:
+    /// everywhere, `turbo_threshold_bits(x)` is exactly
+    /// `⌊turbo_threshold(x) · 2⁵³⌋` (with the certain regions mapping
+    /// to `TURBO_DRAW_SPAN` / `0`), so the two forms disagree on a
+    /// draw with probability at most `2⁻⁵³` per move.
+    #[test]
+    fn turbo_threshold_bits_mirror_the_float_rule() {
+        for rule in rules() {
+            let t = accept_table(rule);
+            let w = 1.0 / t.inv_w;
+            let mut x = t.x_lo - 1.0;
+            while x < t.tail_from + 1.0 {
+                let th = t.turbo_threshold(x);
+                let bits = t.turbo_threshold_bits(x);
+                assert_eq!(
+                    bits,
+                    (th * TURBO_DRAW_SPAN as f64) as u64,
+                    "{rule:?}: bits form diverges at x={x}"
+                );
+                assert!(bits <= TURBO_DRAW_SPAN, "{rule:?} at x={x}");
+                x += w * 0.37;
+            }
+            // Region seams and non-finite inputs agree with the f64
+            // form's saturation behavior.
+            assert_eq!(t.turbo_threshold_bits(f64::NEG_INFINITY), TURBO_DRAW_SPAN);
+            assert_eq!(t.turbo_threshold_bits(t.x_lo), TURBO_DRAW_SPAN);
+            assert_eq!(t.turbo_threshold_bits(t.tail_from), 0);
+            assert_eq!(t.turbo_threshold_bits(f64::INFINITY), 0);
+            let nan_bits = t.turbo_threshold_bits(f64::NAN);
+            assert!(
+                nan_bits > (TURBO_DRAW_SPAN / 100) * 99,
+                "NaN saturates to near-certain accept"
+            );
+        }
+    }
+
+    #[test]
+    fn accept_turbo_never_falls_back_and_tracks_the_exact_rate() {
+        for rule in rules() {
+            let t = accept_table(rule);
+            let mut c = LaneCounters::default();
+            let mut r = StdRng::seed_from_u64(11);
+            let mut n = 0u64;
+            // A hostile sweep including the regions the lossless lane
+            // delegates to exp(): exact-marked buckets and the
+            // Metropolis x > 700 overflow band.
+            for &x in &[
+                -100.0,
+                -37.0,
+                -36.9,
+                -1.0,
+                0.0,
+                1e-9,
+                0.05,
+                0.5,
+                3.0,
+                37.9,
+                39.0,
+                500.0,
+                699.0,
+                701.0,
+                1e6,
+                f64::NAN,
+            ] {
+                for _ in 0..50 {
+                    t.accept_turbo(x, 1.0, &mut r, &mut c);
+                    n += 1;
+                }
+            }
+            assert_eq!(c.fallback, 0, "{rule:?}: turbo must never fall back");
+            assert_eq!(c.decisions(), n, "{rule:?}");
+            assert!(c.shortcut > 0 && c.table > 0, "{rule:?}");
+            // Frozen temperature: strict descent, no draw.
+            let mut before = r.clone();
+            assert!(t.accept_turbo(-0.5, 0.0, &mut r, &mut c));
+            assert!(!t.accept_turbo(0.5, 0.0, &mut r, &mut c));
+            assert_eq!(r.next_u64(), before.next_u64());
+            // Statistical agreement with the exact probability at a few
+            // mid-range points (same bound as the quantized lane).
+            for &x in &[0.1, 0.7, 2.5] {
+                let p_true = acceptance_probability(rule, x, 1.0);
+                let mut r = StdRng::seed_from_u64(123);
+                let trials = 20_000;
+                let hits = (0..trials)
+                    .filter(|_| t.accept_turbo(x, 1.0, &mut r, &mut c))
+                    .count();
+                let rate = hits as f64 / trials as f64;
+                assert!(
+                    (rate - p_true).abs() < 0.02,
+                    "{rule:?} x={x}: rate {rate} vs p {p_true}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn turbo_lane_replays_deterministically_per_stream() {
+        use crate::rng_stream::CounterRng;
+
+        // Same packet + same (seed, packet-index) stream → identical
+        // outcome; a different stream reaches a different trajectory.
+        let params = AnnealParams::default();
+        let packet = crate::packet::AnnealingPacket {
+            tasks: (0..6).map(TaskId::from_index).collect(),
+            procs: (0..3).map(ProcId::from_index).collect(),
+            levels: vec![9, 7, 5, 4, 2, 1],
+            comm_cost: vec![vec![3, 0, 2]; 6],
+            worst_comm: vec![3; 6],
+            epoch_time: 0,
+        };
+        let run = |seed: u64, stream: u64| {
+            let mut scratch = SaScratch::new();
+            let mut counters = LaneCounters::default();
+            scratch.load_packet(&packet, 0.5, 0.5, BalanceRange::Full);
+            let mut rng = CounterRng::new(seed, stream);
+            let out = scratch.anneal_turbo(
+                &params,
+                &mut rng,
+                TurboTuning::default(),
+                false,
+                &mut counters,
+            );
+            assert_eq!(counters.fallback, 0, "turbo never falls back");
+            (out.final_cost, scratch.proc_of.clone(), out.accepted)
+        };
+        assert_eq!(run(42, 0), run(42, 0));
+        let a = run(42, 0);
+        let b = run(43, 0);
+        let c2 = run(42, 1);
+        // Different streams should decorrelate the accepted-move count
+        // (not a hard guarantee per pair, so only require *some*
+        // difference across the two perturbations).
+        assert!(a != b || a != c2, "distinct streams replayed identically");
     }
 
     #[test]

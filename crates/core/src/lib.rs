@@ -39,7 +39,12 @@
 //!   scheduling anomalies".
 //! * [`lane`] — the delta-table SA fast lane ([`lane::SaLane`]): flat
 //!   per-packet cost tables and a quantized Boltzmann acceptance table,
-//!   lossless by construction against the exact engine.
+//!   lossless by construction against the exact engine; plus the
+//!   certified-lossy **turbo** lane ([`lane::SaLane::Turbo`]) gated by a
+//!   corpus-scale statistical equivalence study.
+//! * [`rng_stream`] — counter-based RNG streams for the turbo lane:
+//!   draw `k` of stream `(seed, packet)` is a pure function, so draws
+//!   batch with no sequential dependency.
 //! * [`parallel`] — seeded multi-restart SA across threads.
 //! * [`eval`] — the shared [`Evaluator`] layer for mapping-based
 //!   schedulers: a full-replay reference and an incremental
@@ -73,6 +78,7 @@ pub mod mct;
 pub mod optimal;
 pub mod packet;
 pub mod parallel;
+pub mod rng_stream;
 pub mod sa;
 pub mod static_sa;
 pub mod trace;
@@ -81,8 +87,9 @@ pub use cpop::CpopScheduler;
 pub use eval::{level_dispatch_order, replay_mapping, Evaluator, EvaluatorKind};
 pub use heft::HeftScheduler;
 pub use hlf::HlfScheduler;
-pub use lane::{accept_table, AcceptTable, LaneCounters, SaLane, SaScratch};
+pub use lane::{accept_table, AcceptTable, LaneCounters, SaLane, SaScratch, TurboTuning};
 pub use mct::MctScheduler;
 pub use parallel::{PoolStats, ScratchPool};
+pub use rng_stream::{stream_draw, CounterRng};
 pub use sa::{SaConfig, SaScheduler, SaStats};
 pub use trace::{PacketTrace, TraceSample};

@@ -11,8 +11,9 @@ use crate::annealer::{anneal_packet, AnnealParams, InitRule};
 use crate::boltzmann::AcceptanceRule;
 use crate::cooling::CoolingSchedule;
 use crate::cost::{BalanceRange, CostModel};
-use crate::lane::{LaneCounters, SaLane, SaScratch};
+use crate::lane::{LaneCounters, SaLane, SaScratch, TurboTuning};
 use crate::packet::AnnealingPacket;
+use crate::rng_stream::CounterRng;
 use crate::trace::PacketTrace;
 
 /// Full configuration of the SA scheduler.
@@ -47,6 +48,9 @@ pub struct SaConfig {
     /// Which inner-loop implementation runs the packets. The default
     /// [`SaLane::DeltaTable`] is bit-identical to [`SaLane::Exact`].
     pub lane: SaLane,
+    /// Attribution toggles for the turbo lane's lossy ingredients
+    /// (ignored by the other lanes). The default enables all three.
+    pub turbo_tuning: TurboTuning,
 }
 
 impl Default for SaConfig {
@@ -65,6 +69,7 @@ impl Default for SaConfig {
             seed: 42,
             record_traces: false,
             lane: SaLane::default(),
+            turbo_tuning: TurboTuning::default(),
         }
     }
 }
@@ -117,6 +122,8 @@ pub struct SaStats {
     pub lane_table: u64,
     /// Fast-lane decisions that fell back to the exact Boltzmann path.
     pub lane_fallback: u64,
+    /// Counter-RNG draws consumed (turbo lane only; zero elsewhere).
+    pub lane_rng_draws: u64,
 }
 
 impl SaStats {
@@ -169,6 +176,7 @@ impl SaStats {
         r.add("sa.lane.shortcut", self.lane_shortcut);
         r.add("sa.lane.table", self.lane_table);
         r.add("sa.lane.fallback", self.lane_fallback);
+        r.add("sa.lane.rng_draws", self.lane_rng_draws);
     }
 }
 
@@ -269,6 +277,63 @@ impl OnlineScheduler for SaScheduler {
                         .iter()
                         .map(|&(t, p)| (packet.tasks[t], packet.procs[p])),
                 );
+            }
+            SaLane::Turbo => {
+                self.scratch.load_epoch(
+                    ctx,
+                    levels,
+                    self.cfg.wb,
+                    self.cfg.wc,
+                    self.cfg.balance_range,
+                );
+                let mut counters = LaneCounters::default();
+                let tuning = self.cfg.turbo_tuning;
+                // Packet index = counter-RNG stream id: every packet
+                // gets an independent, order-free draw stream keyed by
+                // (seed, packet) — the sequential `self.rng` is not
+                // touched, so its state never depends on packet count.
+                let lo = if tuning.counter_rng {
+                    let mut crng = CounterRng::new(self.cfg.seed, self.stats.packets);
+                    let lo = self.scratch.anneal_turbo(
+                        &params,
+                        &mut crng,
+                        tuning,
+                        self.cfg.record_traces,
+                        &mut counters,
+                    );
+                    self.stats.lane_rng_draws += crng.draws();
+                    lo
+                } else {
+                    self.scratch.anneal_turbo(
+                        &params,
+                        &mut self.rng,
+                        tuning,
+                        self.cfg.record_traces,
+                        &mut counters,
+                    )
+                };
+
+                self.stats.packets += 1;
+                self.stats.iterations += lo.iterations;
+                self.stats.moves += lo.moves;
+                self.stats.accepted += lo.accepted;
+                self.stats.candidates += ctx.ready.len() as u64;
+                self.stats.idle += ctx.idle.len() as u64;
+                self.stats.lane_shortcut += counters.shortcut;
+                self.stats.lane_table += counters.table;
+                self.stats.lane_fallback += counters.fallback;
+                if let Some(mut tr) = lo.trace {
+                    tr.packet = self.stats.packets - 1;
+                    self.traces.push(tr);
+                }
+                let before = out.len();
+                let (tasks, procs) = (self.scratch.task_ids(), self.scratch.proc_ids());
+                out.extend(
+                    self.scratch
+                        .assignments()
+                        .map(|(t, p)| (tasks[t], procs[p])),
+                );
+                self.stats.assigned += (out.len() - before) as u64;
             }
             lane => {
                 self.scratch.load_epoch(

@@ -218,6 +218,11 @@ pub fn static_sa(
                 SaLane::Quantized => {
                     table.accept_quantized(delta, temp, &mut rng, &mut lane_counters)
                 }
+                // Acceptance-only turbo: the no-fallback midpoint rule
+                // on the scheduler's sequential stream. Draw counts
+                // diverge from the other lanes (certain decisions skip
+                // the draw) — allowed, the lane has no stream contract.
+                SaLane::Turbo => table.accept_turbo(delta, temp, &mut rng, &mut lane_counters),
             };
             if acc {
                 accepted_moves += 1;

@@ -278,6 +278,50 @@ fn delta_table_sa_lane_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn turbo_sa_lane_steady_state_allocates_nothing() {
+    // The turbo lane adds counter-based RNG streams (a fixed-size
+    // two-word state in `CounterRng` — draws must stay allocation
+    // free) and `f32` cost tables (`SaScratch` grow-only buffers,
+    // filled per packet). Once warm, the lossy lane must be exactly as
+    // allocation-free as the delta-table lane it replaces in the fast
+    // portfolio.
+    let g1 = sample_graph(9);
+    let g2 = sample_graph(15);
+    let t1 = hypercube(3);
+    let t2 = ring(5);
+    let params = CommParams::paper();
+    let cfg = SimConfig::default();
+    let mut scratch = SimScratch::new();
+    let lane_cfg = |seed| SaConfig::default().with_seed(seed).with_lane(SaLane::Turbo);
+    let mut s1 = SaScheduler::new(lane_cfg(21));
+    let mut s2 = SaScheduler::new(lane_cfg(22));
+
+    let mut e1 = 0;
+    let mut e2 = 0;
+    for _ in 0..3 {
+        s1.reseed(21);
+        e1 = simulate_makespan(&g1, &t1, &params, &mut s1, &cfg, &mut scratch).unwrap();
+        s2.reseed(22);
+        e2 = simulate_makespan(&g2, &t2, &params, &mut s2, &cfg, &mut scratch).unwrap();
+    }
+
+    let before = allocations();
+    for _ in 0..20 {
+        s1.reseed(21);
+        let m1 = simulate_makespan(&g1, &t1, &params, &mut s1, &cfg, &mut scratch).unwrap();
+        assert_eq!(m1, e1);
+        s2.reseed(22);
+        let m2 = simulate_makespan(&g2, &t2, &params, &mut s2, &cfg, &mut scratch).unwrap();
+        assert_eq!(m2, e2);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warm turbo SA lane must not allocate ({delta} allocations in 40 runs)"
+    );
+}
+
+#[test]
 fn incremental_move_evaluation_allocates_nothing_after_warmup() {
     let g = sample_graph(7);
     let n = g.num_tasks();
