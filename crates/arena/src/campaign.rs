@@ -211,6 +211,14 @@ impl ShardResult {
             }),
         )
     }
+
+    /// [`to_csv`](Self::to_csv) with the `anneal-fleet` checksum
+    /// footer appended — the on-disk form of the shard artifact, so a
+    /// truncated or corrupted file is detected on resume/merge instead
+    /// of being parsed.
+    pub fn to_sealed_csv(&self) -> String {
+        anneal_fleet::seal(self.to_csv().as_str())
+    }
 }
 
 /// The canonical artifact file name for a shard (`shard-007.csv`).
@@ -283,6 +291,14 @@ impl ShardObs {
                 .finish();
         }
         sink.as_str().to_string()
+    }
+
+    /// [`to_jsonl`](Self::to_jsonl) with the `anneal-fleet` checksum
+    /// footer appended — the on-disk form of the shard metrics file.
+    /// The footer line starts with `#`, which every JSONL reader in the
+    /// workspace strips via [`anneal_fleet::unseal`] before parsing.
+    pub fn to_sealed_jsonl(&self) -> String {
+        anneal_fleet::seal(&self.to_jsonl())
     }
 }
 
@@ -645,5 +661,32 @@ mod tests {
         // every makespan is a real schedule length
         assert!(r.makespans.iter().flatten().all(|&m| m > 0));
         assert_eq!(shard_file_name(1), "shard-001.csv");
+    }
+
+    #[test]
+    fn sealed_artifacts_round_trip_and_detect_damage() {
+        let p = tiny_portfolio();
+        let cfg = CampaignConfig {
+            instances: 4,
+            shards: 2,
+            base_seed: 9,
+            max_threads: 1,
+        };
+        let (r, obs) = run_shard_observed(&p, &cfg, 0, &NullClock).unwrap();
+        // seal is a pure footer: unsealing returns the plain artifact
+        let sealed = r.to_sealed_csv();
+        assert_eq!(anneal_fleet::unseal(&sealed).unwrap(), r.to_csv().as_str());
+        let sealed_jsonl = obs.to_sealed_jsonl();
+        assert_eq!(anneal_fleet::unseal(&sealed_jsonl).unwrap(), obs.to_jsonl());
+        // truncation of the sealed form is detected, and the metrics
+        // parser still merges the unsealed body
+        assert!(anneal_fleet::unseal(&sealed[..sealed.len() - 2]).is_err());
+        let mut reg = MetricsRegistry::new();
+        reg.merge_jsonl(anneal_fleet::unseal(&sealed_jsonl).unwrap())
+            .unwrap();
+        assert_eq!(
+            reg.counter("arena.cells"),
+            obs.registry.counter("arena.cells")
+        );
     }
 }

@@ -1,83 +1,88 @@
-//! Sharded 1000-instance campaign runner with resumable shards, a
-//! multi-process driver and an incremental, byte-reproducible merge.
+//! Sharded 1000-instance campaign runner with fault-tolerant workers,
+//! resumable crash-safe shards, a supervised multi-process driver and
+//! an incremental, byte-reproducible merge.
 //!
 //! A campaign evaluates a scheduler portfolio on a large generated
 //! instance family (`anneal_arena::campaign_instance`), split into
-//! shards that can run in separate invocations — or separate machines —
-//! and merge deterministically:
+//! shards that can run in separate invocations — or separate machines
+//! sharing the campaign directory — and merge deterministically. Since
+//! the `anneal-fleet` layer, shard execution is coordinated by a lease
+//! protocol and every artifact is crash-safe (see `docs/FLEET.md`):
 //!
-//! * each shard writes `shard-<k>.csv` into the campaign directory;
-//!   an existing artifact is **skipped**, which is what makes a partial
-//!   campaign resumable (delete a shard file to force a re-run);
-//! * `--procs N` scales out over the same contract: the runner
-//!   re-spawns **itself** once per shard (`--shard K --no-merge`), at
-//!   most `N` children at a time, and merges once every child is done.
-//!   Because a shard's cells are a pure function of the campaign
-//!   parameters, the merged CSVs are byte-identical to an in-process
-//!   run — and a killed multi-process campaign resumes exactly like a
-//!   single-process one, from whatever shard artifacts survived;
-//! * when every shard artifact is present, the runner merges them into
-//!   `matrix.csv` (the full portfolio × instance matrix, sorted by
-//!   global instance index) and `standings.csv` (per-scheduler wins and
-//!   ratio aggregates) via `anneal_report::merge_shard_csvs` — the
-//!   merge is order-independent and byte-identical across runs;
-//! * cell seeds derive from the *global* instance index, so the matrix
-//!   is invariant under re-sharding: `--shards 1` and `--shards 100`
-//!   agree cell for cell.
+//! * each shard writes `shard-<k>.csv` (write-then-rename, checksum
+//!   footer) into the campaign directory; a valid existing artifact is
+//!   **skipped**, which is what makes a partial campaign resumable,
+//!   while a truncated or corrupt one is quarantined and re-run;
+//! * any number of workers can join a campaign (`--join DIR`): each
+//!   claims shards through `lease-<k>.lock` files, heartbeats while
+//!   running, and steals expired leases from crashed or stalled
+//!   workers. Re-execution is always safe because cell seeds key on
+//!   global instance indices — a re-run commits byte-identical bytes;
+//! * `--procs N` supervises `N` `--join` workers: a worker that dies
+//!   is respawned (bounded budget), a campaign that stops making
+//!   progress has its workers restarted after a stall timeout, and a
+//!   child's exit status is surfaced per worker — no wait-forever;
+//! * a shard that exhausts `--max-attempts` is reported in
+//!   `fleet.report.json` and the campaign exits 3 after writing
+//!   `matrix.partial.csv`/`standings.partial.csv` — degraded results
+//!   are flagged, never silently dropped;
+//! * when every shard artifact is present and valid, the runner merges
+//!   them into `matrix.csv` and `standings.csv` via
+//!   `anneal_report::merge_shard_csvs` — order-independent and
+//!   byte-identical across runs, worker counts and re-sharding;
+//! * `--chaos SPEC` (e.g. `seed=7,kill=40,truncate=30`) injects
+//!   deterministic faults for certification: CI byte-compares a
+//!   recovered chaotic campaign against the fault-free run.
 //!
 //! Usage: `campaign [instances] [shards] [seed] [--full] [--shard K]
-//! [--procs N] [--threads T] [--merge-only] [--no-merge] [--dir PATH]
-//! [--evaluator {full,incremental}]
+//! [--procs N] [--join DIR] [--threads T] [--merge-only] [--no-merge]
+//! [--dir PATH] [--evaluator {full,incremental}]
 //! [--sa-lane {exact,delta-table,quantized,turbo}] [--metrics PATH]
-//! [--null-clock] [--progress]`
+//! [--null-clock] [--progress] [--chaos SPEC] [--max-attempts N]
+//! [--lease-ms MS] [--poll-ms MS] [--stall-timeout-ms MS]`
 //!
 //! * `instances` — family size (default 1000).
 //! * `shards` — shard count (default 8).
 //! * `seed` — base seed for generation and evaluation (default 42).
 //! * `--full` — use `Portfolio::standard()` including whole-graph
 //!   static SA (slower; default is `Portfolio::fast()`).
-//! * `--shard K` — run only shard `K`, then merge if all artifacts
-//!   exist (for driving shards from separate processes).
-//! * `--procs N` — multi-process driver: spawn one child process per
-//!   shard, at most `N` concurrently. Merged output is byte-identical
+//! * `--shard K` — restrict this invocation to shard `K`.
+//! * `--procs N` — supervised multi-worker driver: spawn `N` `--join`
+//!   workers over the campaign directory, respawn dead ones, restart
+//!   them all on a stall, then merge. Merged output is byte-identical
 //!   to `--procs 0` (in-process; the default).
+//! * `--join DIR` — worker mode: read the campaign parameters from
+//!   `DIR/campaign.meta` and run shards under the lease protocol until
+//!   every shard is terminal. Never merges.
 //! * `--threads T` — cap the per-shard evaluation thread pool (default
-//!   `0` = available parallelism). Never changes results; use it to
-//!   make throughput measurements reproducible on shared CI runners,
-//!   and combine with `--procs` to keep `procs × threads` within the
-//!   machine.
-//! * `--merge-only` — skip running, only merge existing artifacts.
-//! * `--no-merge` — run shards but never merge (used by `--procs`
-//!   children so only the parent writes the merged CSVs).
+//!   `0` = available parallelism). Never changes results.
+//! * `--merge-only` — skip running, only validate + merge artifacts.
+//! * `--no-merge` — run shards but never merge.
 //! * `--dir PATH` — campaign directory (default `results/campaign`).
-//! * `--evaluator` — how static SA (only present with `--full`) prices
-//!   its annealing moves (default `incremental`). The choice never
-//!   changes a cell value, so artifacts merge identically either way;
-//!   it is still stamped into `campaign.meta` for provenance.
-//! * `--sa-lane` — which inner-loop implementation the annealing
-//!   entries run (default `delta-table`; case-insensitive). The
-//!   lossless lanes (`exact`, `delta-table`) never change a cell
-//!   value — CI byte-compares their merged CSVs — but `quantized` and
-//!   `turbo` do, so the lane is stamped into `campaign.meta` and
-//!   mixing lanes in one campaign directory is refused. `turbo` is the
-//!   certified-lossy fast lane, gated by the `lane_study` equivalence
-//!   oracle (`results/LANE_EQUIV.json`).
-//! * `--metrics PATH` — observe the campaign through `anneal-obs`:
-//!   every shard additionally writes `metrics-<k>.jsonl` (registry
-//!   lines plus one `cell` event per cell) into the campaign
-//!   directory, and the merge step combines them into the merged
-//!   registry at `PATH`, its deterministic-class view at
-//!   `PATH.det.json` (what CI compares across `--procs`/re-sharding),
-//!   and a text + SVG time-share summary next to it. Observation
-//!   never changes the science CSVs — cells, seeds and RNG streams
-//!   are untouched — so `--metrics` is deliberately **not** part of
-//!   the provenance stamp.
-//! * `--null-clock` — record metrics with the deterministic
-//!   `NullClock` (every `time.*` value 0), making the metrics
-//!   artifacts themselves byte-reproducible.
+//! * `--evaluator` — how static SA prices its annealing moves (default
+//!   `incremental`); stamped into `campaign.meta` for provenance.
+//! * `--sa-lane` — inner-loop lane (default `delta-table`); stamped
+//!   into `campaign.meta`, mixing lanes in one directory is refused.
+//! * `--metrics PATH` — observe through `anneal-obs`: shards write
+//!   sealed `metrics-<k>.jsonl`, the merge combines them into `PATH`
+//!   plus its deterministic-class view `PATH.det.json` and a summary
+//!   (text + SVG). Fleet counters land under `sched.fleet.*` — out of
+//!   the deterministic view by class. Not part of provenance.
+//! * `--null-clock` — metrics under the deterministic `NullClock`.
 //! * `--progress` — per-shard heartbeat lines on stderr.
+//! * `--chaos SPEC` — seeded deterministic fault injection
+//!   (`seed=..,kill=..,truncate=..,corrupt=..,stall=..,only=K`,
+//!   percentages 0–100). Debug/certification only.
+//! * `--max-attempts N` — per-shard retry budget before the shard is
+//!   declared failed (default 5).
+//! * `--lease-ms MS` — lease expiry timeout (default 30000); the
+//!   heartbeat interval is a tenth of it.
+//! * `--poll-ms MS` — worker poll interval while shards are held
+//!   elsewhere (default 50; backs off exponentially, bounded).
+//! * `--stall-timeout-ms MS` — supervisor watchdog: restart workers
+//!   after this long without campaign progress (default: 4 × lease).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 
 use anneal_arena::{
@@ -85,8 +90,17 @@ use anneal_arena::{
     CampaignConfig, Portfolio,
 };
 use anneal_core::{EvaluatorKind, SaLane};
+use anneal_fleet::{
+    commit_bytes, fnv1a64, read_attempts, render_report, run_worker, seal, shard_state, unseal,
+    FaultPlan, FleetConfig, FleetEvent, FleetStats, KillMode, LeaseConfig, ShardReport,
+    ShardRunner, ShardState, WorkerOutcome, CHAOS_KILL_EXIT,
+};
 use anneal_obs::{Clock, MetricsRegistry, NullClock, WallClock};
-use anneal_report::{merge_shard_csvs, CellSample, Table};
+use anneal_report::{merge_shard_csvs, scan_sealed_shards, CellSample, Table};
+
+/// Exit status of a campaign (or worker) that completed but left
+/// failed shards behind — degraded, documented in `fleet.report.json`.
+const DEGRADED_EXIT: i32 = 3;
 
 struct Args {
     cfg: CampaignConfig,
@@ -95,22 +109,31 @@ struct Args {
     lane: SaLane,
     only_shard: Option<usize>,
     procs: usize,
+    join: Option<PathBuf>,
     merge_only: bool,
     no_merge: bool,
     dir: PathBuf,
     metrics: Option<PathBuf>,
     null_clock: bool,
     progress: bool,
+    chaos: Option<FaultPlan>,
+    max_attempts: u32,
+    lease_ms: u64,
+    poll_ms: u64,
+    stall_timeout_ms: u64,
 }
 
 fn usage() -> String {
     format!(
         "campaign [instances] [shards] [seed] [--full] [--shard K]\n\
-         \x20        [--procs N] [--threads T] [--merge-only] [--no-merge]\n\
+         \x20        [--procs N] [--join DIR] [--threads T] [--merge-only] [--no-merge]\n\
          \x20        [--dir PATH] [--evaluator {{full,incremental}}]\n\
          \x20        [--sa-lane LANE] [--metrics PATH] [--null-clock] [--progress]\n\
+         \x20        [--chaos SPEC] [--max-attempts N] [--lease-ms MS] [--poll-ms MS]\n\
+         \x20        [--stall-timeout-ms MS]\n\
          \n\
-         valid --sa-lane values (case-insensitive): {}",
+         valid --sa-lane values (case-insensitive): {}\n\
+         --chaos SPEC example: seed=7,kill=40,truncate=30,corrupt=10,stall=5,only=2",
         SaLane::name_list()
     )
 }
@@ -127,6 +150,7 @@ fn parse_args() -> Args {
     let mut lane = SaLane::default();
     let mut only_shard = None;
     let mut procs = 0usize;
+    let mut join = None;
     let mut threads = 0usize;
     let mut merge_only = false;
     let mut no_merge = false;
@@ -134,6 +158,11 @@ fn parse_args() -> Args {
     let mut metrics = None;
     let mut null_clock = false;
     let mut progress = false;
+    let mut chaos = None;
+    let mut max_attempts = 5u32;
+    let mut lease_ms = 30_000u64;
+    let mut poll_ms = 50u64;
+    let mut stall_timeout_ms = 0u64;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -152,6 +181,9 @@ fn parse_args() -> Args {
             "--procs" => {
                 let n = it.next().and_then(|v| v.parse().ok());
                 procs = n.expect("--procs needs a process count");
+            }
+            "--join" => {
+                join = Some(PathBuf::from(it.next().expect("--join needs a directory")));
             }
             "--threads" => {
                 let t = it.next().and_then(|v| v.parse().ok());
@@ -172,6 +204,30 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| panic!("--sa-lane needs one of: {}", SaLane::name_list()));
                 lane = v.parse().unwrap_or_else(|e| panic!("{e}\n{}", usage()));
             }
+            "--chaos" => {
+                let spec = it.next().expect("--chaos needs a fault spec");
+                chaos = Some(FaultPlan::parse(spec).unwrap_or_else(|e| panic!("{e}\n{}", usage())));
+            }
+            "--max-attempts" => {
+                let n: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-attempts needs a count");
+                assert!(n > 0, "--max-attempts must be at least 1");
+                max_attempts = n;
+            }
+            "--lease-ms" => {
+                let n = it.next().and_then(|v| v.parse().ok());
+                lease_ms = n.expect("--lease-ms needs milliseconds");
+            }
+            "--poll-ms" => {
+                let n = it.next().and_then(|v| v.parse().ok());
+                poll_ms = n.expect("--poll-ms needs milliseconds");
+            }
+            "--stall-timeout-ms" => {
+                let n = it.next().and_then(|v| v.parse().ok());
+                stall_timeout_ms = n.expect("--stall-timeout-ms needs milliseconds");
+            }
             other => match other.parse() {
                 Ok(v) => positional.push(v),
                 Err(_) => panic!("unknown argument {other:?}"),
@@ -184,6 +240,9 @@ fn parse_args() -> Args {
         base_seed: positional.get(2).copied().unwrap_or(42),
         max_threads: threads,
     };
+    if stall_timeout_ms == 0 {
+        stall_timeout_ms = (4 * lease_ms).max(10_000);
+    }
     Args {
         cfg,
         full,
@@ -191,12 +250,18 @@ fn parse_args() -> Args {
         lane,
         only_shard,
         procs,
+        join,
         merge_only,
         no_merge,
         dir,
         metrics,
         null_clock,
         progress,
+        chaos,
+        max_attempts,
+        lease_ms,
+        poll_ms,
+        stall_timeout_ms,
     }
 }
 
@@ -204,8 +269,10 @@ fn parse_args() -> Args {
 /// parameters of their own, so resuming must refuse to mix artifacts
 /// produced under different settings — a shard computed with another
 /// seed would merge cleanly (same header, same shape) into a silently
-/// wrong matrix. (`--procs`/`--threads` are deliberately absent: they
-/// never change a cell.)
+/// wrong matrix. (`--procs`/`--threads`/`--metrics`/`--chaos` are
+/// deliberately absent: they never change a cell.) The stamp is also
+/// what `--join` workers read their parameters from, so every fleet
+/// member computes from identical settings by construction.
 fn provenance(cfg: &CampaignConfig, full: bool, evaluator: EvaluatorKind, lane: SaLane) -> String {
     format!(
         "instances={}\nshards={}\nseed={}\nportfolio={}\nevaluator={}\nsa-lane={}\n",
@@ -218,43 +285,275 @@ fn provenance(cfg: &CampaignConfig, full: bool, evaluator: EvaluatorKind, lane: 
     )
 }
 
-fn check_provenance(dir: &std::path::Path, expected: &str) {
+/// Parses a provenance body back into campaign settings — the inverse
+/// of [`provenance`], used by `--join` workers.
+fn parse_provenance(body: &str) -> (CampaignConfig, bool, EvaluatorKind, SaLane) {
+    let field = |key: &str| -> &str {
+        body.lines()
+            .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+            .unwrap_or_else(|| panic!("campaign.meta is missing `{key}=`"))
+    };
+    let cfg = CampaignConfig {
+        instances: field("instances").parse().expect("instances in meta"),
+        shards: field("shards").parse().expect("shards in meta"),
+        base_seed: field("seed").parse().expect("seed in meta"),
+        max_threads: 0,
+    };
+    let full = match field("portfolio") {
+        "standard" => true,
+        "fast" => false,
+        other => panic!("campaign.meta has unknown portfolio {other:?}"),
+    };
+    let evaluator = field("evaluator").parse().unwrap_or_else(|e| panic!("{e}"));
+    let lane = field("sa-lane").parse().unwrap_or_else(|e| panic!("{e}"));
+    (cfg, full, evaluator, lane)
+}
+
+fn check_provenance(dir: &Path, expected: &str) {
     let path = dir.join("campaign.meta");
     match std::fs::read_to_string(&path) {
-        Ok(found) if found == expected => {}
-        Ok(found) => panic!(
-            "{} was produced with different parameters:\n--- existing\n{found}--- requested\n{expected}\
-             Delete the directory (or its shard-*.csv files and campaign.meta) to start over.",
-            dir.display()
-        ),
-        Err(_) => std::fs::write(&path, expected).expect("write campaign.meta"),
+        Ok(sealed) => {
+            let found = unseal(&sealed).unwrap_or_else(|e| {
+                panic!(
+                    "{} failed checksum validation ({e}). \
+                     Delete the directory to start over.",
+                    path.display()
+                )
+            });
+            if found != expected {
+                panic!(
+                    "{} was produced with different parameters:\n--- existing\n{found}--- requested\n{expected}\
+                     Delete the directory (or its shard-*.csv files and campaign.meta) to start over.",
+                    dir.display()
+                );
+            }
+        }
+        Err(_) => commit_bytes(&path, seal(expected).as_bytes()).expect("write campaign.meta"),
     }
 }
 
-/// Spawns one child process per shard over the existing shard/merge
-/// contract — the scale-out path of ROADMAP item (f). Children skip
-/// shards whose artifact already exists (resume) and never merge; the
-/// parent merges after the last child exits, so the merged CSVs are
-/// written exactly once.
+/// The real shard runner: executes one campaign shard and returns the
+/// sealed shard CSV (plus sealed metrics JSONL when observing).
+struct CampaignRunner {
+    portfolio: Portfolio,
+    cfg: CampaignConfig,
+    metrics: bool,
+    null_clock: bool,
+    progress: bool,
+    wall: WallClock,
+}
+
+impl ShardRunner for CampaignRunner {
+    fn artifact_name(&self, shard: usize) -> String {
+        shard_file_name(shard)
+    }
+
+    fn run(&self, shard: usize) -> Result<Vec<(String, String)>, String> {
+        if self.progress {
+            eprintln!("[campaign] shard {shard}: starting");
+        }
+        let clock: &(dyn Clock + Sync) = if self.null_clock {
+            &NullClock
+        } else {
+            &self.wall
+        };
+        let (r, obs) = run_shard_observed(&self.portfolio, &self.cfg, shard, clock)
+            .map_err(|e| format!("shard {shard}: {e}"))?;
+        if self.progress {
+            eprintln!(
+                "[campaign] shard {shard}: done, {} cells in {:.1} ms",
+                obs.cells.len(),
+                obs.registry.counter("time.shard_ns") as f64 / 1e6
+            );
+        }
+        let mut files = vec![(shard_file_name(shard), r.to_sealed_csv())];
+        if self.metrics {
+            files.push((shard_metrics_file_name(shard), obs.to_sealed_jsonl()));
+        }
+        Ok(files)
+    }
+}
+
+fn fleet_config(args: &Args) -> FleetConfig {
+    FleetConfig {
+        lease: LeaseConfig {
+            timeout_ms: args.lease_ms,
+            heartbeat_ms: (args.lease_ms / 10).max(5),
+        },
+        max_attempts: args.max_attempts,
+        poll_ms: args.poll_ms,
+        chaos: args.chaos,
+        // workers are real processes: a chaos kill is a real death
+        kill_mode: KillMode::ExitProcess(CHAOS_KILL_EXIT),
+    }
+}
+
+fn print_event(dir: &Path, ev: &FleetEvent) {
+    match ev {
+        FleetEvent::ShardSkipped { shard, artifact } => {
+            println!(
+                "shard {shard}: {} exists, skipping (resume)",
+                dir.join(artifact).display()
+            );
+        }
+        FleetEvent::Claimed {
+            shard,
+            attempt,
+            stolen,
+        } => {
+            if *attempt > 1 || *stolen {
+                println!(
+                    "shard {shard}: attempt {attempt}{}",
+                    if *stolen { " (lease stolen)" } else { "" }
+                );
+            }
+        }
+        FleetEvent::Quarantined {
+            shard,
+            path,
+            reason,
+        } => {
+            println!("shard {shard}: corrupt artifact quarantined to {path} ({reason})");
+        }
+        FleetEvent::Chaos {
+            shard,
+            attempt,
+            kind,
+        } => {
+            println!("shard {shard}: chaos {kind} injected (attempt {attempt})");
+        }
+        FleetEvent::ShardDone { shard, attempt } => {
+            println!(
+                "shard {shard}: done (attempt {attempt}) -> {}",
+                dir.join(shard_file_name(*shard)).display()
+            );
+        }
+        FleetEvent::RunFailed {
+            shard,
+            attempt,
+            msg,
+        } => {
+            eprintln!("shard {shard}: attempt {attempt} failed: {msg}");
+        }
+        FleetEvent::Exhausted { shard, attempts } => {
+            eprintln!("shard {shard}: FAILED after {attempts} attempts");
+        }
+    }
+}
+
+/// Runs a fleet worker inline over `shards`, publishes its
+/// `fleet-metrics-<owner>.jsonl` counters, and returns the outcome.
+fn run_fleet_worker(
+    dir: &Path,
+    shards: &[usize],
+    cfg: &FleetConfig,
+    runner: &CampaignRunner,
+) -> WorkerOutcome {
+    let owner = format!("w{}-{}", std::process::id(), anneal_fleet::unix_time_ms());
+    let mut stats = FleetStats::default();
+    let outcome = run_worker(dir, shards, &owner, cfg, runner, &mut stats, &mut |ev| {
+        print_event(dir, ev)
+    })
+    .expect("fleet worker I/O");
+    let mut reg = MetricsRegistry::new();
+    stats.record_into(&mut reg);
+    if !reg.is_empty() {
+        let mut sink = anneal_obs::JsonlSink::new();
+        reg.write_jsonl(&mut sink);
+        commit_bytes(
+            &dir.join(format!("fleet-metrics-{owner}.jsonl")),
+            seal(sink.as_str()).as_bytes(),
+        )
+        .expect("write fleet metrics");
+    }
+    outcome
+}
+
+/// Worker mode (`--join DIR`): campaign parameters come from the
+/// directory's provenance stamp, so every fleet member — whichever
+/// machine it runs on — computes from identical settings. Exits 0 when
+/// all shards are terminal, [`DEGRADED_EXIT`] when some failed.
+fn run_join(args: &Args, dir: &Path) -> i32 {
+    let sealed = std::fs::read_to_string(dir.join("campaign.meta")).unwrap_or_else(|e| {
+        panic!(
+            "--join {}: no readable campaign.meta ({e}); start the campaign first",
+            dir.display()
+        )
+    });
+    let body = unseal(&sealed).unwrap_or_else(|e| {
+        panic!(
+            "--join {}: campaign.meta failed validation: {e}",
+            dir.display()
+        )
+    });
+    let (mut cfg, full, evaluator, lane) = parse_provenance(body);
+    cfg.max_threads = args.cfg.max_threads;
+    let runner = CampaignRunner {
+        portfolio: if full {
+            Portfolio::standard_with_lanes(evaluator, lane)
+        } else {
+            Portfolio::fast_with_lane(lane)
+        },
+        cfg: cfg.clone(),
+        metrics: args.metrics.is_some(),
+        null_clock: args.null_clock,
+        progress: args.progress,
+        wall: WallClock::new(),
+    };
+    let shards: Vec<usize> = (0..cfg.shards).collect();
+    match run_fleet_worker(dir, &shards, &fleet_config(args), &runner) {
+        WorkerOutcome::Completed { failed, .. } if failed.is_empty() => 0,
+        WorkerOutcome::Completed { failed, .. } => {
+            eprintln!("worker done; shards {failed:?} exhausted their attempts");
+            DEGRADED_EXIT
+        }
+        // unreachable under KillMode::ExitProcess, but keep it total
+        WorkerOutcome::Killed { .. } => CHAOS_KILL_EXIT,
+    }
+}
+
+/// A cheap fingerprint of campaign progress: shard artifact sizes,
+/// attempt counters and lease contents. The supervisor restarts its
+/// workers when this stops changing for the stall timeout — a frozen
+/// child must not block the campaign forever.
+fn progress_signature(dir: &Path, shards: usize) -> u64 {
+    let mut state = String::new();
+    for k in 0..shards {
+        let len = std::fs::metadata(dir.join(shard_file_name(k)))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        state.push_str(&format!("a{k}={len};t{k}={};", read_attempts(dir, k)));
+        let lease =
+            std::fs::read_to_string(dir.join(anneal_fleet::lease_file_name(k))).unwrap_or_default();
+        state.push_str(&lease);
+        state.push(';');
+    }
+    fnv1a64(state.as_bytes())
+}
+
+/// Supervised scale-out: spawn `--procs` `--join` workers over the
+/// campaign directory, respawn any that die (bounded budget, exit
+/// status surfaced per worker), and restart the lot if campaign
+/// progress stalls. Returns when every worker has completed; the lease
+/// protocol has then left all shards terminal.
 fn run_multiprocess(args: &Args) {
     let exe = std::env::current_exe().expect("own executable path");
-    let base: Vec<String> = {
+    let worker_args: Vec<String> = {
         let mut v = vec![
-            args.cfg.instances.to_string(),
-            args.cfg.shards.to_string(),
-            args.cfg.base_seed.to_string(),
-            "--dir".into(),
+            "--join".into(),
             args.dir.display().to_string(),
             "--threads".into(),
             args.cfg.max_threads.to_string(),
-            "--no-merge".into(),
-            "--evaluator".into(),
-            args.evaluator.to_string(),
-            "--sa-lane".into(),
-            args.lane.to_string(),
+            "--max-attempts".into(),
+            args.max_attempts.to_string(),
+            "--lease-ms".into(),
+            args.lease_ms.to_string(),
+            "--poll-ms".into(),
+            args.poll_ms.to_string(),
         ];
-        if args.full {
-            v.push("--full".into());
+        if let Some(plan) = &args.chaos {
+            v.push("--chaos".into());
+            v.push(plan.to_spec());
         }
         if let Some(path) = &args.metrics {
             v.push("--metrics".into());
@@ -268,142 +567,185 @@ fn run_multiprocess(args: &Args) {
         }
         v
     };
-    let mut running: Vec<(usize, Child)> = Vec::new();
-    // Reap *any* finished child (not the oldest): a slow shard must not
-    // head-of-line-block the spawning of further shards while other
-    // process slots sit idle. A failed child takes the whole campaign
-    // down *cleanly*: the still-running children are killed and waited
-    // first, so an immediate re-run never races orphans on the same
-    // shard files.
-    let reap_one = |running: &mut Vec<(usize, Child)>| loop {
+    let spawn_worker = |slot: usize| -> Child {
+        let child = Command::new(&exe)
+            .args(&worker_args)
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn worker {slot}: {e}"));
+        println!("worker {slot}: spawned process {}", child.id());
+        child
+    };
+    // Enough budget to survive every chaos kill the retry policy can
+    // absorb, but bounded: a worker that dies instantly forever cannot
+    // spin the supervisor.
+    let mut respawns_left = args.procs + args.cfg.shards * args.max_attempts as usize;
+    let mut children: Vec<(usize, Child)> = (0..args.procs.max(1))
+        .map(|slot| (slot, spawn_worker(slot)))
+        .collect();
+    let mut last_sig = progress_signature(&args.dir, args.cfg.shards);
+    let mut last_change = anneal_fleet::unix_time_ms();
+    while !children.is_empty() {
         let mut i = 0;
-        while i < running.len() {
-            let (k, child) = &mut running[i];
-            match child.try_wait().expect("poll shard child") {
-                Some(status) if status.success() => {
-                    running.remove(i);
-                    return;
-                }
+        let mut reaped = false;
+        while i < children.len() {
+            let (slot, child) = &mut children[i];
+            match child.try_wait().expect("poll worker") {
                 Some(status) => {
-                    let failed = *k;
-                    running.remove(i);
-                    for (_, orphan) in running.iter_mut() {
-                        let _ = orphan.kill();
-                        let _ = orphan.wait();
+                    let slot = *slot;
+                    children.remove(i);
+                    reaped = true;
+                    match status.code() {
+                        Some(0) => {}
+                        Some(DEGRADED_EXIT) => {
+                            // worker finished, some shards exhausted —
+                            // the merge step below reports them
+                        }
+                        _ => {
+                            let what = if status.code() == Some(CHAOS_KILL_EXIT) {
+                                "chaos-killed".to_string()
+                            } else {
+                                format!("died ({status})")
+                            };
+                            if respawns_left == 0 {
+                                panic!("worker {slot} {what} and the respawn budget is exhausted");
+                            }
+                            respawns_left -= 1;
+                            println!("worker {slot}: {what}; respawning");
+                            children.push((slot, spawn_worker(slot)));
+                        }
                     }
-                    panic!("shard {failed} child failed: {status}");
                 }
                 None => i += 1,
             }
         }
-        std::thread::sleep(std::time::Duration::from_millis(20));
-    };
-    for k in 0..args.cfg.shards {
-        if running.len() >= args.procs {
-            reap_one(&mut running);
+        if children.is_empty() {
+            break;
         }
-        let child = Command::new(&exe)
-            .args(&base)
-            .args(["--shard", &k.to_string()])
-            .spawn()
-            .unwrap_or_else(|e| panic!("spawn shard {k}: {e}"));
-        println!("shard {k}: spawned process {}", child.id());
-        running.push((k, child));
-    }
-    while !running.is_empty() {
-        reap_one(&mut running);
+        let sig = progress_signature(&args.dir, args.cfg.shards);
+        let now = anneal_fleet::unix_time_ms();
+        if sig != last_sig || reaped {
+            last_sig = sig;
+            last_change = now;
+        } else if now.saturating_sub(last_change) > args.stall_timeout_ms {
+            let n = children.len();
+            eprintln!(
+                "no campaign progress for {} ms; restarting {n} stalled worker(s)",
+                args.stall_timeout_ms
+            );
+            for (_, child) in children.iter_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            let slots: Vec<usize> = children.drain(..).map(|(slot, _)| slot).collect();
+            for slot in slots {
+                if respawns_left == 0 {
+                    panic!("campaign stalled and the respawn budget is exhausted");
+                }
+                respawns_left -= 1;
+                children.push((slot, spawn_worker(slot)));
+            }
+            last_change = now;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
     }
 }
 
-fn main() {
-    let args = parse_args();
-    args.cfg.validate();
-    let portfolio = if args.full {
-        Portfolio::standard_with_lanes(args.evaluator, args.lane)
-    } else {
-        Portfolio::fast_with_lane(args.lane)
-    };
-    std::fs::create_dir_all(&args.dir).expect("create campaign dir");
-    check_provenance(
-        &args.dir,
-        &provenance(&args.cfg, args.full, args.evaluator, args.lane),
-    );
-
-    if !args.merge_only {
-        if args.procs > 0 && args.only_shard.is_none() {
-            run_multiprocess(&args);
-        } else {
-            let shards: Vec<usize> = match args.only_shard {
-                Some(k) => {
-                    assert!(k < args.cfg.shards, "--shard {k} out of range");
-                    vec![k]
+/// Reads every worker's sealed `fleet-metrics-*.jsonl` into one
+/// registry (sorted file order; unreadable files are reported and
+/// skipped — fleet counters are diagnostics, not science).
+fn read_fleet_metrics(dir: &Path) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with("fleet-metrics-") && n.ends_with(".jsonl"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    for name in names {
+        match anneal_fleet::read_sealed(&dir.join(&name)) {
+            Ok(text) => {
+                if let Err(e) = reg.merge_jsonl(&text) {
+                    eprintln!("{name}: skipping fleet metrics ({e})");
                 }
-                None => (0..args.cfg.shards).collect(),
-            };
-            let wall = WallClock::new();
-            let clock: &(dyn Clock + Sync) = if args.null_clock { &NullClock } else { &wall };
-            for k in shards {
-                let path = args.dir.join(shard_file_name(k));
-                if path.exists() {
-                    println!("shard {k}: {} exists, skipping (resume)", path.display());
-                    continue;
-                }
-                if args.progress {
-                    eprintln!("[campaign] shard {k}: starting");
-                }
-                let (r, obs) =
-                    run_shard_observed(&portfolio, &args.cfg, k, clock).expect("shard run failed");
-                // Write-then-rename: a campaign killed mid-write must
-                // never leave a truncated shard artifact behind — the
-                // resume path skips any existing `shard-<k>.csv` as
-                // complete, so a partial file would wedge the merge.
-                let tmp = path.with_extension("csv.tmp");
-                r.to_csv().write_to(&tmp).expect("write shard csv");
-                std::fs::rename(&tmp, &path).expect("publish shard csv");
-                if args.metrics.is_some() {
-                    let mpath = args.dir.join(shard_metrics_file_name(k));
-                    let mtmp = mpath.with_extension("jsonl.tmp");
-                    std::fs::write(&mtmp, obs.to_jsonl()).expect("write shard metrics");
-                    std::fs::rename(&mtmp, &mpath).expect("publish shard metrics");
-                }
-                if args.progress {
-                    eprintln!(
-                        "[campaign] shard {k}: done, {} cells in {:.1} ms",
-                        obs.cells.len(),
-                        obs.registry.counter("time.shard_ns") as f64 / 1e6
-                    );
-                }
-                println!(
-                    "shard {k}: {} instances x {} schedulers -> {}",
-                    r.columns.len(),
-                    r.schedulers.len(),
-                    path.display()
-                );
             }
+            Err(e) => eprintln!("{name}: skipping fleet metrics ({e})"),
         }
     }
-    if args.no_merge {
-        return;
+    reg
+}
+
+/// Validates and merges shard artifacts; writes the failure manifest.
+/// Returns the process exit code: 0 on a clean (or deferred) merge,
+/// [`DEGRADED_EXIT`] when shards exhausted their retries.
+fn merge_campaign(args: &Args) -> i32 {
+    let scan = scan_sealed_shards(&args.dir, args.cfg.shards, shard_file_name)
+        .expect("scan shard artifacts");
+    for (k, path, reason) in &scan.quarantined {
+        println!(
+            "shard {k}: corrupt artifact quarantined to {path} ({reason}); re-run to regenerate"
+        );
+    }
+    let fleet_reg = read_fleet_metrics(&args.dir);
+    let states: Vec<ShardState> = (0..args.cfg.shards)
+        .map(|k| shard_state(&args.dir, k, &shard_file_name(k), args.max_attempts))
+        .collect();
+    let failed: Vec<usize> = (0..args.cfg.shards)
+        .filter(|&k| states[k] == ShardState::Failed)
+        .collect();
+    let reports: Vec<ShardReport> = (0..args.cfg.shards)
+        .map(|k| ShardReport {
+            shard: k,
+            state: states[k],
+            attempts: read_attempts(&args.dir, k),
+        })
+        .collect();
+    let report_path = args.dir.join("fleet.report.json");
+    commit_bytes(&report_path, render_report(&reports, &fleet_reg).as_bytes())
+        .expect("write fleet report");
+
+    if !failed.is_empty() {
+        // degraded: merge what exists into .partial artifacts, report
+        // loudly, exit non-zero — never pretend the campaign is whole
+        if !scan.valid.is_empty() {
+            let texts: Vec<&str> = scan.valid.iter().map(|(_, t)| t.as_str()).collect();
+            let partial = merge_shard_csvs(&texts).expect("valid shard artifacts are inconsistent");
+            commit_bytes(
+                &args.dir.join("matrix.partial.csv"),
+                seal(partial.matrix_csv().as_str()).as_bytes(),
+            )
+            .expect("write partial matrix");
+            commit_bytes(
+                &args.dir.join("standings.partial.csv"),
+                seal(partial.standings_csv().as_str()).as_bytes(),
+            )
+            .expect("write partial standings");
+        }
+        eprintln!(
+            "campaign degraded: shards {failed:?} exhausted {} attempts; see {}",
+            args.max_attempts,
+            report_path.display()
+        );
+        return DEGRADED_EXIT;
     }
 
-    // Incremental merge: only when every shard artifact is present.
-    let mut shard_texts = Vec::new();
-    let mut missing = Vec::new();
-    for k in 0..args.cfg.shards {
-        match std::fs::read_to_string(args.dir.join(shard_file_name(k))) {
-            Ok(text) => shard_texts.push(text),
-            Err(_) => missing.push(k),
-        }
-    }
-    if !missing.is_empty() {
+    let waiting: Vec<usize> = (0..args.cfg.shards)
+        .filter(|&k| states[k] == ShardState::Pending)
+        .collect();
+    if !waiting.is_empty() {
         println!(
-            "merge deferred: {}/{} shard artifacts present (missing {missing:?})",
-            shard_texts.len(),
+            "merge deferred: {}/{} shard artifacts present (missing {waiting:?})",
+            scan.valid.len(),
             args.cfg.shards
         );
-        return;
+        return 0;
     }
-    let merged = merge_shard_csvs(&shard_texts).expect("shard artifacts are inconsistent");
+
+    let texts: Vec<&str> = scan.valid.iter().map(|(_, t)| t.as_str()).collect();
+    let merged = merge_shard_csvs(&texts).expect("shard artifacts are inconsistent");
     assert_eq!(
         merged.num_instances(),
         args.cfg.instances,
@@ -411,14 +753,13 @@ fn main() {
     );
     let matrix_path = args.dir.join("matrix.csv");
     let standings_path = args.dir.join("standings.csv");
-    merged
-        .matrix_csv()
-        .write_to(&matrix_path)
+    commit_bytes(&matrix_path, seal(merged.matrix_csv().as_str()).as_bytes())
         .expect("write matrix");
-    merged
-        .standings_csv()
-        .write_to(&standings_path)
-        .expect("write standings");
+    commit_bytes(
+        &standings_path,
+        seal(merged.standings_csv().as_str()).as_bytes(),
+    )
+    .expect("write standings");
 
     let standings = merged.standings_csv();
     let mut table = Table::new(vec![
@@ -443,22 +784,74 @@ fn main() {
     println!("wrote {}", standings_path.display());
 
     if let Some(metrics_path) = &args.metrics {
-        merge_metrics(&args, metrics_path);
+        merge_metrics(args, metrics_path, &fleet_reg);
     }
+    0
 }
 
-/// Merges every present `metrics-<k>.jsonl` into the campaign
-/// registry, then writes the full registry, its deterministic-class
-/// view and the time-share summary (text + SVG). Shards resumed from a
+fn main() {
+    let args = parse_args();
+    if let Some(dir) = args.join.clone() {
+        std::process::exit(run_join(&args, &dir));
+    }
+    args.cfg.validate();
+    std::fs::create_dir_all(&args.dir).expect("create campaign dir");
+    check_provenance(
+        &args.dir,
+        &provenance(&args.cfg, args.full, args.evaluator, args.lane),
+    );
+
+    let mut worker_degraded = false;
+    if !args.merge_only {
+        if args.procs > 0 && args.only_shard.is_none() {
+            run_multiprocess(&args);
+        } else {
+            let shards: Vec<usize> = match args.only_shard {
+                Some(k) => {
+                    assert!(k < args.cfg.shards, "--shard {k} out of range");
+                    vec![k]
+                }
+                None => (0..args.cfg.shards).collect(),
+            };
+            let runner = CampaignRunner {
+                portfolio: if args.full {
+                    Portfolio::standard_with_lanes(args.evaluator, args.lane)
+                } else {
+                    Portfolio::fast_with_lane(args.lane)
+                },
+                cfg: args.cfg.clone(),
+                metrics: args.metrics.is_some(),
+                null_clock: args.null_clock,
+                progress: args.progress,
+                wall: WallClock::new(),
+            };
+            let outcome = run_fleet_worker(&args.dir, &shards, &fleet_config(&args), &runner);
+            if let WorkerOutcome::Completed { failed, .. } = &outcome {
+                worker_degraded = !failed.is_empty();
+            }
+        }
+    }
+    if args.no_merge {
+        // no failure manifest without a merge phase, but never report
+        // a campaign with exhausted shards as success
+        std::process::exit(if worker_degraded { DEGRADED_EXIT } else { 0 });
+    }
+    std::process::exit(merge_campaign(&args));
+}
+
+/// Merges every present sealed `metrics-<k>.jsonl` into the campaign
+/// registry (plus the fleet counters), then writes the full registry,
+/// its deterministic-class view and the time-share summary (text +
+/// SVG) — all committed atomically. Shards resumed from a
 /// pre-`--metrics` run have no metrics artifact; they are reported and
 /// skipped rather than failing the merge.
-fn merge_metrics(args: &Args, metrics_path: &std::path::Path) {
+fn merge_metrics(args: &Args, metrics_path: &Path, fleet_reg: &MetricsRegistry) {
     let mut registry = MetricsRegistry::new();
     let mut cells = Vec::new();
     let mut missing = Vec::new();
     for k in 0..args.cfg.shards {
         let path = args.dir.join(shard_metrics_file_name(k));
-        match std::fs::read_to_string(&path) {
+        match anneal_fleet::read_sealed(&path) {
             Ok(text) => {
                 registry
                     .merge_jsonl(&text)
@@ -467,7 +860,8 @@ fn merge_metrics(args: &Args, metrics_path: &std::path::Path) {
                     parse_cells_jsonl(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display())),
                 );
             }
-            Err(_) => missing.push(k),
+            Err(anneal_fleet::ArtifactError::Missing { .. }) => missing.push(k),
+            Err(e) => panic!("{}: {e}", path.display()),
         }
     }
     if !missing.is_empty() {
@@ -477,10 +871,14 @@ fn merge_metrics(args: &Args, metrics_path: &std::path::Path) {
             missing.len()
         );
     }
-    std::fs::write(metrics_path, registry.to_json()).expect("write merged metrics");
+    registry.merge(fleet_reg);
+    commit_bytes(metrics_path, registry.to_json().as_bytes()).expect("write merged metrics");
     let det_path = metrics_path.with_extension("det.json");
-    std::fs::write(&det_path, registry.deterministic_only().to_json())
-        .expect("write deterministic metrics view");
+    commit_bytes(
+        &det_path,
+        registry.deterministic_only().to_json().as_bytes(),
+    )
+    .expect("write deterministic metrics view");
 
     // Cell events feed the human-facing summary. Sort for a
     // deterministic artifact regardless of shard visit order.
@@ -493,15 +891,19 @@ fn merge_metrics(args: &Args, metrics_path: &std::path::Path) {
             wall_ns: c.wall_ns,
         })
         .collect();
+    let mut summary = anneal_report::render_metrics_summary(&samples, 10);
+    if let Some(fleet_line) = anneal_report::render_fleet_summary(&registry) {
+        summary.push('\n');
+        summary.push_str(&fleet_line);
+    }
     let summary_path = metrics_path.with_extension("summary.txt");
-    std::fs::write(
-        &summary_path,
-        anneal_report::render_metrics_summary(&samples, 10),
-    )
-    .expect("write metrics summary");
+    commit_bytes(&summary_path, summary.as_bytes()).expect("write metrics summary");
     let svg_path = metrics_path.with_extension("timeshare.svg");
-    std::fs::write(&svg_path, anneal_report::render_time_share_svg(&samples))
-        .expect("write time-share svg");
+    commit_bytes(
+        &svg_path,
+        anneal_report::render_time_share_svg(&samples).as_bytes(),
+    )
+    .expect("write time-share svg");
     println!("wrote {}", metrics_path.display());
     println!("wrote {}", det_path.display());
     println!("wrote {}", summary_path.display());

@@ -1,0 +1,314 @@
+//! Crash-safe artifact I/O: write-then-rename commits, checksum
+//! footers, and quarantine of corrupt files.
+//!
+//! Two independent defenses compose here:
+//!
+//! * [`commit_bytes`] publishes a file atomically (write a sibling
+//!   temp file, then `rename`), so a worker killed at any instant
+//!   never leaves a *partial* file at the final path — resume logic
+//!   that treats "file exists" as "shard complete" stays sound against
+//!   crashes of our own writers.
+//! * [`seal`]/[`unseal`] add and verify a content-checksum footer
+//!   (FNV-1a 64 over every preceding byte), catching what atomic
+//!   rename cannot: truncation or byte corruption *after* commit — a
+//!   torn copy between hosts, a filesystem losing tail pages on power
+//!   loss, a stray write. A sealed artifact that fails validation is
+//!   never parsed; callers [`quarantine`] it (rename to a
+//!   `.quarantined-N` sibling, preserving the evidence) and re-run the
+//!   work.
+//!
+//! The footer is one final line, `#checksum,fnv1a64,<16 hex digits>`,
+//! chosen so sealed CSV/JSONL artifacts remain line-oriented and the
+//! checksum line itself can never be confused with a data row.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Prefix of the checksum footer line appended by [`seal`].
+pub const CHECKSUM_PREFIX: &str = "#checksum,fnv1a64,";
+
+/// 64-bit FNV-1a over `bytes`. Not cryptographic — the adversary here
+/// is a torn write or bit rot, not a forger — but fast, dependency-free
+/// and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a sealed artifact was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file does not exist.
+    Missing {
+        /// The path that was read.
+        path: String,
+    },
+    /// The file could not be read (permissions, I/O error, ...).
+    Io {
+        /// The path that was read.
+        path: String,
+        /// The underlying error rendered as text.
+        msg: String,
+    },
+    /// No checksum footer — the file was truncated past the footer, or
+    /// was written by something that never sealed it.
+    MissingFooter,
+    /// The footer line exists but is malformed (truncated hex, wrong
+    /// algorithm tag).
+    BadFooter {
+        /// The malformed footer line.
+        found: String,
+    },
+    /// The footer parsed but the content hash disagrees — the bytes
+    /// changed after sealing.
+    Mismatch {
+        /// Checksum recorded in the footer.
+        expected: String,
+        /// Checksum of the bytes actually present.
+        found: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Missing { path } => write!(f, "{path}: no such artifact"),
+            ArtifactError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            ArtifactError::MissingFooter => {
+                write!(f, "no checksum footer (truncated or never sealed)")
+            }
+            ArtifactError::BadFooter { found } => write!(f, "malformed checksum footer {found:?}"),
+            ArtifactError::Mismatch { expected, found } => {
+                write!(f, "checksum mismatch: footer {expected}, content {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Appends the checksum footer to `content`. The checksum covers every
+/// byte of `content` exactly as passed (including its trailing
+/// newline, if any); the footer is a final `#checksum,fnv1a64,<hex>`
+/// line.
+pub fn seal(content: &str) -> String {
+    let mut out = String::with_capacity(content.len() + CHECKSUM_PREFIX.len() + 18);
+    out.push_str(content);
+    if !content.is_empty() && !content.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(CHECKSUM_PREFIX);
+    let digest = fnv1a64(&out.as_bytes()[..out.len() - CHECKSUM_PREFIX.len()]);
+    out.push_str(&format!("{digest:016x}\n"));
+    out
+}
+
+/// Validates a sealed text and returns the content with the footer
+/// stripped. Any tampering — truncation (footer gone), a damaged
+/// footer, or content whose hash no longer matches — is an error; a
+/// sealed artifact is either intact or rejected, never half-parsed.
+pub fn unseal(text: &str) -> Result<&str, ArtifactError> {
+    let body_end = match text.rfind(CHECKSUM_PREFIX) {
+        Some(pos) if text[..pos].is_empty() || text[..pos].ends_with('\n') => pos,
+        _ => return Err(ArtifactError::MissingFooter),
+    };
+    let footer = text[body_end + CHECKSUM_PREFIX.len()..].trim_end_matches('\n');
+    if footer.len() != 16 || text[body_end..].matches('\n').count() != 1 {
+        return Err(ArtifactError::BadFooter {
+            found: text[body_end..].trim_end_matches('\n').to_string(),
+        });
+    }
+    let expected = u64::from_str_radix(footer, 16).map_err(|_| ArtifactError::BadFooter {
+        found: text[body_end..].trim_end_matches('\n').to_string(),
+    })?;
+    let found = fnv1a64(&text.as_bytes()[..body_end]);
+    if found != expected {
+        return Err(ArtifactError::Mismatch {
+            expected: format!("{expected:016x}"),
+            found: format!("{found:016x}"),
+        });
+    }
+    Ok(&text[..body_end])
+}
+
+/// Atomically publishes `bytes` at `path`: write a sibling
+/// `.{name}.tmp-{pid}` file, then rename over the final path. A crash
+/// before the rename leaves only the temp file (ignored by every
+/// reader); a crash after leaves the complete artifact. The rename
+/// also makes concurrent publishers of *identical* content safe —
+/// last writer wins with the same bytes.
+pub fn commit_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir)?;
+    }
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "commit target has no name"))?;
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads and validates a sealed artifact, returning the unsealed
+/// content.
+pub fn read_sealed(path: &Path) -> Result<String, ArtifactError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        if e.kind() == io::ErrorKind::NotFound {
+            ArtifactError::Missing {
+                path: path.display().to_string(),
+            }
+        } else {
+            ArtifactError::Io {
+                path: path.display().to_string(),
+                msg: e.to_string(),
+            }
+        }
+    })?;
+    unseal(&text).map(str::to_string)
+}
+
+/// Moves a corrupt artifact aside to the first free
+/// `{name}.quarantined-N` sibling (N from 1), preserving the evidence
+/// for post-mortem while freeing the canonical path for a re-run.
+/// Returns the quarantine path.
+pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "quarantine target has no name")
+        })?;
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    for n in 1..10_000u32 {
+        let candidate = dir.join(format!("{name}.quarantined-{n}"));
+        if !candidate.exists() {
+            std::fs::rename(path, &candidate)?;
+            return Ok(candidate);
+        }
+    }
+    Err(io::Error::other("10000 quarantined copies already exist"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        for content in ["", "a\n", "x,y\n1,2\n", "no trailing newline"] {
+            let sealed = seal(content);
+            let back = unseal(&sealed).unwrap();
+            if content.is_empty() || content.ends_with('\n') {
+                assert_eq!(back, content);
+            } else {
+                assert_eq!(back, format!("{content}\n"));
+            }
+            // sealing is deterministic
+            assert_eq!(sealed, seal(content));
+        }
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_detected() {
+        let sealed = seal("instance_index,instance,hlf\n0,i0,100\n");
+        // any truncation breaks validation
+        for cut in 1..sealed.len() {
+            assert!(
+                unseal(&sealed[..sealed.len() - cut]).is_err(),
+                "truncating {cut} bytes must be detected"
+            );
+        }
+        // any single-byte flip breaks validation
+        let bytes = sealed.as_bytes();
+        for i in 0..bytes.len() {
+            let mut copy = bytes.to_vec();
+            copy[i] ^= 0x01;
+            if let Ok(text) = String::from_utf8(copy) {
+                assert!(unseal(&text).is_err(), "flipping byte {i} must be detected");
+            }
+        }
+    }
+
+    #[test]
+    fn footer_variants_reject() {
+        assert_eq!(unseal("plain\n"), Err(ArtifactError::MissingFooter));
+        assert!(matches!(
+            unseal("x\n#checksum,fnv1a64,zzzz\n"),
+            Err(ArtifactError::BadFooter { .. })
+        ));
+        assert!(matches!(
+            unseal("x\n#checksum,fnv1a64,0123456789abcdef\n"),
+            Err(ArtifactError::Mismatch { .. })
+        ));
+        // a footer that is not at line start is not a footer
+        let embedded = format!("data {CHECKSUM_PREFIX}0123456789abcdef\n");
+        assert_eq!(unseal(&embedded), Err(ArtifactError::MissingFooter));
+    }
+
+    #[test]
+    fn fnv_known_answers() {
+        // standard FNV-1a test vectors
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn commit_is_atomic_and_quarantine_moves_aside() {
+        let dir = std::env::temp_dir().join(format!("fleet-artifact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("shard-000.csv");
+        commit_bytes(&path, seal("h\n1\n").as_bytes()).unwrap();
+        assert_eq!(read_sealed(&path).unwrap(), "h\n1\n");
+        // no temp droppings left behind
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+
+        // damage the artifact, then quarantine twice: distinct names
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(read_sealed(&path).is_err());
+        let q1 = quarantine(&path).unwrap();
+        assert!(q1
+            .to_string_lossy()
+            .ends_with("shard-000.csv.quarantined-1"));
+        std::fs::write(&path, b"more garbage").unwrap();
+        let q2 = quarantine(&path).unwrap();
+        assert!(q2
+            .to_string_lossy()
+            .ends_with("shard-000.csv.quarantined-2"));
+        assert!(!path.exists());
+        let missing = read_sealed(&path);
+        assert!(matches!(missing, Err(ArtifactError::Missing { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            ArtifactError::Missing { path: "p".into() },
+            ArtifactError::Io {
+                path: "p".into(),
+                msg: "io".into(),
+            },
+            ArtifactError::MissingFooter,
+            ArtifactError::BadFooter { found: "x".into() },
+            ArtifactError::Mismatch {
+                expected: "a".into(),
+                found: "b".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

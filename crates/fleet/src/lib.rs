@@ -1,0 +1,57 @@
+//! # anneal-fleet
+//!
+//! Filesystem-coordinated, fault-tolerant campaign orchestration. Any
+//! number of worker processes — on one machine today, on several hosts
+//! sharing a directory tomorrow — can join a campaign, claim shards,
+//! crash, stall, and be replaced, and the final merged artifacts are
+//! still byte-identical to a fault-free single-process run. Three
+//! pieces make that true:
+//!
+//! * [`artifact`] — crash-safe artifact I/O: every file is committed
+//!   with write-then-rename ([`commit_bytes`]) so a kill at any instant
+//!   never publishes a partial file, and every campaign artifact
+//!   carries a content-checksum footer ([`seal`]/[`unseal`]) so a
+//!   truncated or corrupted file is *detected* and
+//!   [`quarantine`]d instead of poisoning a resume or merge.
+//! * [`lease`] — a shard lease protocol over the campaign directory:
+//!   atomic acquisition via `create_new`, heartbeat renewal, and
+//!   deterministic expiry-based work-stealing so a crashed or frozen
+//!   worker's shard is re-claimed. Re-execution is always safe because
+//!   shard results are pure functions of the campaign parameters
+//!   (cell seeds key on global instance indices), so a re-run commits
+//!   byte-identical artifacts.
+//! * [`fault`] — a seeded, deterministic fault-injection plan
+//!   ([`FaultPlan`]): kill-at-attempt, truncate-artifact, corrupt-byte
+//!   and stall-worker injections keyed on `(seed, shard, attempt)`,
+//!   which is what lets the chaos suite certify the headline
+//!   invariant: *for any injected failure pattern, recovery produces a
+//!   merge byte-identical to the fault-free run*.
+//!
+//! [`worker`] ties them together in the claim → run → commit →
+//! release loop ([`run_worker`]) used by `campaign --join DIR`
+//! workers, the in-process campaign path, and the chaos test driver;
+//! [`report`] renders the deterministic `fleet.report.json` failure
+//! manifest so an exhausted shard is reported, never silently dropped.
+//!
+//! See `docs/FLEET.md` for the protocol details and deployment notes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod artifact;
+pub mod fault;
+pub mod lease;
+pub mod report;
+pub mod worker;
+
+pub use artifact::{
+    commit_bytes, fnv1a64, quarantine, read_sealed, seal, unseal, ArtifactError, CHECKSUM_PREFIX,
+};
+pub use fault::{FaultKind, FaultPlan};
+pub use lease::{force_claim, lease_file_name, try_claim, unix_time_ms, Claim, Lease, LeaseConfig};
+pub use report::{render_report, ShardReport};
+pub use worker::{
+    attempts_file_name, read_attempts, run_worker, shard_state, FleetConfig, FleetEvent,
+    FleetStats, KillMode, ShardRunner, ShardState, WorkerOutcome, CHAOS_KILL_EXIT,
+};

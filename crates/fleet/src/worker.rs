@@ -1,0 +1,632 @@
+//! The fleet worker loop: claim → run → commit → release, with
+//! retry accounting, quarantine of corrupt artifacts, and optional
+//! chaos injection.
+//!
+//! [`run_worker`] drives one worker over a set of shards until every
+//! shard is terminal — [`ShardState::Done`] (a valid sealed artifact
+//! exists) or [`ShardState::Failed`] (the shard exhausted
+//! [`FleetConfig::max_attempts`]). Several workers can run the same
+//! loop over the same directory concurrently; the lease protocol keeps
+//! them mostly disjoint, and determinism of shard execution makes any
+//! residual overlap a benign duplicate publish of identical bytes.
+//!
+//! Attempt counts persist in sealed `attempts-<k>.txt` files, so a
+//! *resumed* campaign keeps counting where the killed one stopped —
+//! without this, a shard that deterministically crashes its worker
+//! would be retried forever across resumes instead of landing in the
+//! failure manifest.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use anneal_obs::{MetricsRegistry, Recorder as _};
+
+use crate::artifact::{commit_bytes, quarantine, read_sealed, seal, unseal};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::lease::{force_claim, try_claim, unix_time_ms, Claim, Lease, LeaseConfig};
+
+/// Exit code a `--join` worker process dies with when a chaos kill
+/// fires under [`KillMode::ExitProcess`] — distinguishable from real
+/// failures in supervision logs and the chaos test driver.
+pub const CHAOS_KILL_EXIT: i32 = 17;
+
+/// What a chaos kill does to the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Return [`WorkerOutcome::Killed`] immediately, leaving the stale
+    /// lease and missing artifact behind exactly as a real kill would —
+    /// lets in-crate tests exercise crash recovery without spawning
+    /// processes.
+    Simulate,
+    /// `std::process::exit` with the given code — real crash semantics
+    /// for `--join` worker processes.
+    ExitProcess(i32),
+}
+
+/// Worker policy knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Lease timing (timeout + heartbeat cadence).
+    pub lease: LeaseConfig,
+    /// A shard is declared [`ShardState::Failed`] once it has been
+    /// attempted this many times without producing a valid artifact.
+    pub max_attempts: u32,
+    /// Base poll interval while waiting on shards held elsewhere;
+    /// backs off exponentially (bounded) while no progress is made.
+    pub poll_ms: u64,
+    /// Deterministic fault injection; `None` in production.
+    pub chaos: Option<FaultPlan>,
+    /// How an injected kill manifests.
+    pub kill_mode: KillMode,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            lease: LeaseConfig::default(),
+            max_attempts: 5,
+            poll_ms: 50,
+            chaos: None,
+            kill_mode: KillMode::Simulate,
+        }
+    }
+}
+
+/// Executes one shard and returns its artifacts.
+///
+/// Implementations must be deterministic in the shard index — that is
+/// the foundation the whole recovery story rests on: a re-run after a
+/// kill, steal or quarantine publishes byte-identical artifacts.
+pub trait ShardRunner {
+    /// File name of the shard's *primary* artifact (e.g.
+    /// `shard-003.csv`) — its validity defines [`ShardState::Done`].
+    fn artifact_name(&self, shard: usize) -> String;
+
+    /// Runs the shard, returning `(file name, sealed content)` pairs to
+    /// commit, primary artifact first. Contents must already carry
+    /// their checksum footer (see [`seal`]).
+    fn run(&self, shard: usize) -> Result<Vec<(String, String)>, String>;
+}
+
+/// Where a shard stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// A valid sealed artifact exists.
+    Done,
+    /// No valid artifact yet; attempts remain.
+    Pending,
+    /// Attempts exhausted without a valid artifact.
+    Failed,
+}
+
+/// The sealed per-shard attempt counter file (`attempts-007.txt`).
+pub fn attempts_file_name(shard: usize) -> String {
+    format!("attempts-{shard:03}.txt")
+}
+
+/// Reads a shard's persisted attempt count (0 when absent or
+/// unreadable — an unreadable counter only means extra, harmless
+/// retries).
+pub fn read_attempts(dir: &Path, shard: usize) -> u32 {
+    std::fs::read_to_string(dir.join(attempts_file_name(shard)))
+        .ok()
+        .and_then(|t| unseal(&t).ok().map(str::to_string))
+        .and_then(|body| body.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn write_attempts(dir: &Path, shard: usize, n: u32) -> io::Result<()> {
+    commit_bytes(
+        &dir.join(attempts_file_name(shard)),
+        seal(&format!("{n}\n")).as_bytes(),
+    )
+}
+
+/// Classifies a shard: a valid sealed primary artifact means
+/// [`ShardState::Done`] regardless of attempt count (a duplicate
+/// publish after a steal still counts); otherwise the persisted attempt
+/// counter decides between [`ShardState::Pending`] and
+/// [`ShardState::Failed`].
+pub fn shard_state(dir: &Path, shard: usize, artifact_name: &str, max_attempts: u32) -> ShardState {
+    if read_sealed(&dir.join(artifact_name)).is_ok() {
+        ShardState::Done
+    } else if read_attempts(dir, shard) >= max_attempts {
+        ShardState::Failed
+    } else {
+        ShardState::Pending
+    }
+}
+
+/// Fleet activity counters. Flushed to `anneal-obs` under
+/// `sched.fleet.*` — the scheduling class — because every one of them
+/// depends on the execution plan (worker count, kill timing, races),
+/// never on the science; the deterministic metrics view stays clean.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Leases claimed fresh via `create_new`.
+    pub leases_acquired: u64,
+    /// Leases taken over from an expired or unreadable holder.
+    pub leases_stolen: u64,
+    /// Leases we no longer held at release time (stolen from us).
+    pub leases_lost: u64,
+    /// Shard executions started.
+    pub shards_run: u64,
+    /// Executions beyond each shard's first attempt.
+    pub retries: u64,
+    /// Runner executions that returned an error.
+    pub run_failures: u64,
+    /// Sealed artifacts that failed checksum validation.
+    pub checksum_failures: u64,
+    /// Corrupt artifacts moved aside for post-mortem.
+    pub quarantines: u64,
+    /// Chaos faults injected, by kind in [`FaultKind::ALL`] order.
+    pub faults: [u64; 4],
+}
+
+impl FleetStats {
+    fn fault(&mut self, kind: FaultKind) {
+        let i = FaultKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .unwrap_or_default();
+        self.faults[i] += 1;
+    }
+
+    /// Flushes the counters into `reg` as `sched.fleet.*` keys.
+    pub fn record_into(&self, reg: &mut MetricsRegistry) {
+        for (key, v) in [
+            ("sched.fleet.leases_acquired", self.leases_acquired),
+            ("sched.fleet.leases_stolen", self.leases_stolen),
+            ("sched.fleet.leases_lost", self.leases_lost),
+            ("sched.fleet.shards_run", self.shards_run),
+            ("sched.fleet.retries", self.retries),
+            ("sched.fleet.run_failures", self.run_failures),
+            ("sched.fleet.checksum_failures", self.checksum_failures),
+            ("sched.fleet.quarantines", self.quarantines),
+        ] {
+            if v > 0 {
+                reg.add(key, v);
+            }
+        }
+        for (kind, v) in FaultKind::ALL.iter().zip(self.faults) {
+            if v > 0 {
+                reg.add(&format!("sched.fleet.faults_{kind}"), v);
+            }
+        }
+    }
+}
+
+/// Worker lifecycle notifications, for human-readable progress output.
+#[derive(Debug, Clone)]
+pub enum FleetEvent {
+    /// A shard already has a valid artifact — skipped on resume.
+    ShardSkipped {
+        /// Shard index.
+        shard: usize,
+        /// Its primary artifact file name.
+        artifact: String,
+    },
+    /// We hold the shard's lease and are about to run it.
+    Claimed {
+        /// Shard index.
+        shard: usize,
+        /// 1-based attempt number (global across workers/resumes).
+        attempt: u32,
+        /// Whether the claim went through the steal path.
+        stolen: bool,
+    },
+    /// An existing artifact failed validation and was moved aside.
+    Quarantined {
+        /// Shard index.
+        shard: usize,
+        /// Where the corrupt file went.
+        path: String,
+        /// Why validation rejected it.
+        reason: String,
+    },
+    /// A chaos fault fired.
+    Chaos {
+        /// Shard index.
+        shard: usize,
+        /// Attempt it fired on.
+        attempt: u32,
+        /// Which fault.
+        kind: FaultKind,
+    },
+    /// The shard's artifacts were committed and validated.
+    ShardDone {
+        /// Shard index.
+        shard: usize,
+        /// Attempt that succeeded.
+        attempt: u32,
+    },
+    /// The runner returned an error; the shard stays pending.
+    RunFailed {
+        /// Shard index.
+        shard: usize,
+        /// Attempt that failed.
+        attempt: u32,
+        /// The runner's error.
+        msg: String,
+    },
+    /// The shard exhausted its attempts without a valid artifact.
+    Exhausted {
+        /// Shard index.
+        shard: usize,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// How a [`run_worker`] call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// Every shard is terminal.
+    Completed {
+        /// Shards with a valid artifact.
+        done: Vec<usize>,
+        /// Shards that exhausted their attempts — the failure manifest
+        /// input; never silently dropped.
+        failed: Vec<usize>,
+    },
+    /// A chaos kill fired under [`KillMode::Simulate`]; the stale lease
+    /// and missing artifact are left behind for recovery to find.
+    Killed {
+        /// Shard being run when the kill fired.
+        shard: usize,
+    },
+}
+
+/// Background lease renewal while a shard runs. Stopping is chunked so
+/// the worker never blocks long on join; the thread also stops renewing
+/// on its own if it observes the lease was stolen.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(lease: Lease, every_ms: u64) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut last = unix_time_ms();
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(5));
+                let now = unix_time_ms();
+                if now.saturating_sub(last) >= every_ms {
+                    last = now;
+                    if !matches!(lease.heartbeat(now), Ok(true)) {
+                        break;
+                    }
+                }
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Runs one worker over `shards` in campaign directory `dir` until all
+/// of them are terminal. `owner` is this worker's lease token (unique
+/// per process, e.g. `w<pid>-<ms>`). Events stream to `on_event`;
+/// counters accumulate in `stats`.
+///
+/// Any number of workers may run this concurrently over the same
+/// directory (same or different process). The loop:
+///
+/// 1. scan shard states; return once all are Done/Failed;
+/// 2. for each pending shard, try to claim its lease (fresh, expired
+///    steal, or force-steal of a lease unreadable for longer than the
+///    timeout);
+/// 3. on claim: quarantine any invalid existing artifact, bump the
+///    persisted attempt counter, inject chaos, run the shard under a
+///    heartbeat, commit artifacts atomically, validate, release;
+/// 4. if nothing was claimable, sleep with bounded exponential backoff
+///    (another worker is making progress, or its lease must age out).
+pub fn run_worker(
+    dir: &Path,
+    shards: &[usize],
+    owner: &str,
+    cfg: &FleetConfig,
+    runner: &dyn ShardRunner,
+    stats: &mut FleetStats,
+    on_event: &mut dyn FnMut(&FleetEvent),
+) -> io::Result<WorkerOutcome> {
+    std::fs::create_dir_all(dir)?;
+    let mut reported_skip: BTreeSet<usize> = BTreeSet::new();
+    let mut ran: BTreeSet<usize> = BTreeSet::new();
+    let mut reported_exhausted: BTreeSet<usize> = BTreeSet::new();
+    // shard -> when we first saw its lease unreadable (torn claim)
+    let mut unreadable_since: Vec<Option<u64>> = vec![None; shards.len()];
+    let mut backoff = cfg.poll_ms.max(1);
+
+    loop {
+        let mut done = Vec::new();
+        let mut failed = Vec::new();
+        let mut pending = Vec::new();
+        for (slot, &shard) in shards.iter().enumerate() {
+            let artifact = runner.artifact_name(shard);
+            match shard_state(dir, shard, &artifact, cfg.max_attempts) {
+                ShardState::Done => {
+                    if !ran.contains(&shard) && reported_skip.insert(shard) {
+                        on_event(&FleetEvent::ShardSkipped { shard, artifact });
+                    }
+                    done.push(shard);
+                }
+                ShardState::Failed => {
+                    if reported_exhausted.insert(shard) {
+                        on_event(&FleetEvent::Exhausted {
+                            shard,
+                            attempts: read_attempts(dir, shard),
+                        });
+                    }
+                    failed.push(shard);
+                }
+                ShardState::Pending => pending.push((slot, shard)),
+            }
+        }
+        if pending.is_empty() {
+            return Ok(WorkerOutcome::Completed { done, failed });
+        }
+
+        let mut progressed = false;
+        for (slot, shard) in pending {
+            let now = unix_time_ms();
+            let claim = match try_claim(dir, shard, owner, now, &cfg.lease)? {
+                Claim::Acquired(lease) => Some(lease),
+                Claim::Held { .. } => {
+                    unreadable_since[slot] = None;
+                    None
+                }
+                Claim::Unreadable => {
+                    // a claimant died between creating and writing its
+                    // lease file; only force-steal once the torn lease
+                    // has been unreadable for a full timeout
+                    let since = *unreadable_since[slot].get_or_insert(now);
+                    if now.saturating_sub(since) > cfg.lease.timeout_ms {
+                        match force_claim(dir, shard, owner, now)? {
+                            Claim::Acquired(lease) => Some(lease),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    }
+                }
+            };
+            let Some(lease) = claim else { continue };
+            unreadable_since[slot] = None;
+            if lease.stolen {
+                stats.leases_stolen += 1;
+            } else {
+                stats.leases_acquired += 1;
+            }
+
+            // someone may have finished (or exhausted) the shard
+            // between our scan and the claim — re-check under the lease
+            let artifact = runner.artifact_name(shard);
+            match shard_state(dir, shard, &artifact, cfg.max_attempts) {
+                ShardState::Pending => {}
+                _ => {
+                    let _ = lease.release()?;
+                    progressed = true;
+                    continue;
+                }
+            }
+
+            // an artifact that exists but failed validation is corrupt:
+            // preserve the evidence, then re-run
+            let artifact_path = dir.join(&artifact);
+            if artifact_path.exists() {
+                if let Err(reason) = read_sealed(&artifact_path) {
+                    stats.checksum_failures += 1;
+                    let qpath = quarantine(&artifact_path)?;
+                    stats.quarantines += 1;
+                    on_event(&FleetEvent::Quarantined {
+                        shard,
+                        path: qpath.display().to_string(),
+                        reason: reason.to_string(),
+                    });
+                }
+            }
+
+            let attempt = read_attempts(dir, shard) + 1;
+            write_attempts(dir, shard, attempt)?;
+            if attempt > 1 {
+                stats.retries += 1;
+            }
+            ran.insert(shard);
+            on_event(&FleetEvent::Claimed {
+                shard,
+                attempt,
+                stolen: lease.stolen,
+            });
+
+            // chaos: kill fires before any artifact is published,
+            // leaving the stale lease behind — a real SIGKILL
+            if let Some(plan) = &cfg.chaos {
+                if plan.fires(FaultKind::Kill, shard, attempt) {
+                    stats.fault(FaultKind::Kill);
+                    on_event(&FleetEvent::Chaos {
+                        shard,
+                        attempt,
+                        kind: FaultKind::Kill,
+                    });
+                    match cfg.kill_mode {
+                        KillMode::Simulate => return Ok(WorkerOutcome::Killed { shard }),
+                        KillMode::ExitProcess(code) => std::process::exit(code),
+                    }
+                }
+            }
+
+            stats.shards_run += 1;
+            let heartbeat = Heartbeat::start(lease.clone(), cfg.lease.heartbeat_ms);
+
+            // chaos: stall freezes the worker (heartbeat included) past
+            // the lease timeout, inviting a steal, then lets the run
+            // finish — the duplicate publish must be benign
+            if let Some(plan) = &cfg.chaos {
+                if plan.fires(FaultKind::Stall, shard, attempt) {
+                    stats.fault(FaultKind::Stall);
+                    on_event(&FleetEvent::Chaos {
+                        shard,
+                        attempt,
+                        kind: FaultKind::Stall,
+                    });
+                    heartbeat.halt_for_stall();
+                    std::thread::sleep(Duration::from_millis(
+                        cfg.lease.timeout_ms + 2 * cfg.lease.heartbeat_ms + 25,
+                    ));
+                }
+            }
+
+            let outcome = runner.run(shard);
+            heartbeat.stop();
+            match outcome {
+                Err(msg) => {
+                    stats.run_failures += 1;
+                    on_event(&FleetEvent::RunFailed {
+                        shard,
+                        attempt,
+                        msg,
+                    });
+                    if !lease.release()? {
+                        stats.leases_lost += 1;
+                    }
+                    progressed = true;
+                    continue;
+                }
+                Ok(files) => {
+                    for (name, content) in &files {
+                        commit_bytes(&dir.join(name), content.as_bytes())?;
+                    }
+                    // chaos: damage the published primary artifact with
+                    // a raw write — simulating a torn copy or bit rot,
+                    // which by definition bypasses the atomic commit
+                    if let Some(plan) = &cfg.chaos {
+                        for kind in [FaultKind::Truncate, FaultKind::Corrupt] {
+                            if plan.fires(kind, shard, attempt) {
+                                if let Ok(bytes) = std::fs::read(&artifact_path) {
+                                    if let Some(bad) = plan.damage(kind, shard, attempt, &bytes) {
+                                        stats.fault(kind);
+                                        on_event(&FleetEvent::Chaos {
+                                            shard,
+                                            attempt,
+                                            kind,
+                                        });
+                                        std::fs::write(&artifact_path, bad)?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !lease.release()? {
+                        stats.leases_lost += 1;
+                    }
+                    if read_sealed(&artifact_path).is_ok() {
+                        on_event(&FleetEvent::ShardDone { shard, attempt });
+                    }
+                    // an invalid artifact is picked up by the next scan:
+                    // quarantined and retried, or declared Failed
+                    progressed = true;
+                }
+            }
+        }
+
+        if progressed {
+            backoff = cfg.poll_ms.max(1);
+        } else {
+            std::thread::sleep(Duration::from_millis(backoff));
+            backoff = (backoff * 2).min(1_000);
+        }
+    }
+}
+
+impl Heartbeat {
+    /// Stops renewal without blocking the stall itself — used by the
+    /// stall injection so the lease genuinely expires while we sleep.
+    fn halt_for_stall(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempts_file_round_trips() {
+        let d = std::env::temp_dir().join(format!("fleet-attempts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        assert_eq!(read_attempts(&d, 2), 0);
+        write_attempts(&d, 2, 3).unwrap();
+        assert_eq!(read_attempts(&d, 2), 3);
+        // unreadable counters degrade to 0, never panic
+        std::fs::write(d.join(attempts_file_name(2)), b"junk").unwrap();
+        assert_eq!(read_attempts(&d, 2), 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn stats_record_as_sched_class() {
+        let mut stats = FleetStats {
+            leases_acquired: 3,
+            leases_stolen: 1,
+            retries: 2,
+            ..FleetStats::default()
+        };
+        stats.fault(FaultKind::Kill);
+        stats.fault(FaultKind::Kill);
+        let mut reg = MetricsRegistry::new();
+        stats.record_into(&mut reg);
+        assert_eq!(reg.counter("sched.fleet.leases_acquired"), 3);
+        assert_eq!(reg.counter("sched.fleet.leases_stolen"), 1);
+        assert_eq!(reg.counter("sched.fleet.retries"), 2);
+        assert_eq!(reg.counter("sched.fleet.faults_kill"), 2);
+        // zero counters stay absent; every key is sched-class
+        assert_eq!(reg.counter("sched.fleet.quarantines"), 0);
+        assert!(reg.deterministic_only().is_empty());
+    }
+
+    #[test]
+    fn shard_state_classifies() {
+        let d = std::env::temp_dir().join(format!("fleet-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        assert_eq!(shard_state(&d, 0, "s.csv", 3), ShardState::Pending);
+        write_attempts(&d, 0, 3).unwrap();
+        assert_eq!(shard_state(&d, 0, "s.csv", 3), ShardState::Failed);
+        // a valid artifact trumps exhausted attempts (duplicate publish
+        // after a steal)
+        commit_bytes(&d.join("s.csv"), seal("h\n1\n").as_bytes()).unwrap();
+        assert_eq!(shard_state(&d, 0, "s.csv", 3), ShardState::Done);
+        // a corrupt artifact does not count as done
+        std::fs::write(d.join("s.csv"), b"torn").unwrap();
+        assert_eq!(shard_state(&d, 0, "s.csv", 3), ShardState::Failed);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,290 @@
+//! Chaos certification: for any seeded fault pattern — worker kills,
+//! artifact truncation, byte corruption, lease expiry under stalls —
+//! a fleet of worker sessions plus recovery produces artifacts
+//! byte-identical to the fault-free run, and the failure manifest is
+//! deterministic. A shard that exhausts its retries lands in the
+//! manifest, never silently dropped.
+
+use std::path::{Path, PathBuf};
+
+use anneal_fleet::{
+    read_attempts, render_report, run_worker, seal, shard_state, FaultPlan, FleetConfig,
+    FleetStats, KillMode, LeaseConfig, ShardReport, ShardRunner, ShardState, WorkerOutcome,
+};
+use anneal_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+const SHARDS: usize = 3;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("fleet-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A deterministic stand-in for the campaign shard runner: content is
+/// a pure function of the shard index, as the real one is of the
+/// campaign parameters.
+struct MockRunner;
+
+impl ShardRunner for MockRunner {
+    fn artifact_name(&self, shard: usize) -> String {
+        format!("shard-{shard:03}.csv")
+    }
+
+    fn run(&self, shard: usize) -> Result<Vec<(String, String)>, String> {
+        let mut body = String::from("instance_index,hlf,sa\n");
+        for row in 0..4 {
+            let i = shard * 4 + row;
+            body.push_str(&format!("{i},{},{}\n", 100 + 7 * i, 90 + 5 * i));
+        }
+        let metrics = format!(
+            "{{\"type\": \"counter\", \"key\": \"arena.cells\", \"value\": {}}}\n",
+            4 * (shard + 1)
+        );
+        Ok(vec![
+            (self.artifact_name(shard), seal(&body)),
+            (format!("metrics-{shard:03}.jsonl"), seal(&metrics)),
+        ])
+    }
+}
+
+fn chaos_config(plan: FaultPlan) -> FleetConfig {
+    FleetConfig {
+        lease: LeaseConfig {
+            timeout_ms: 60,
+            heartbeat_ms: 10,
+        },
+        // generous so a run of unlucky (but deterministic) kill draws
+        // cannot exhaust a shard in the identity property
+        max_attempts: 16,
+        poll_ms: 5,
+        chaos: Some(plan),
+        kill_mode: KillMode::Simulate,
+    }
+}
+
+/// Runs worker sessions (each a fresh "process" with its own owner
+/// token) until every shard is terminal, restarting after each
+/// simulated kill — exactly what the supervisor does with real
+/// processes. Returns the accumulated stats and final outcome.
+fn run_until_terminal(dir: &Path, cfg: &FleetConfig) -> (FleetStats, WorkerOutcome) {
+    let shards: Vec<usize> = (0..SHARDS).collect();
+    let mut stats = FleetStats::default();
+    for session in 0..200 {
+        let owner = format!("w{session}");
+        let outcome = run_worker(
+            dir,
+            &shards,
+            &owner,
+            cfg,
+            &MockRunner,
+            &mut stats,
+            &mut |_| {},
+        )
+        .unwrap();
+        match outcome {
+            WorkerOutcome::Completed { .. } => return (stats, outcome),
+            WorkerOutcome::Killed { .. } => continue,
+        }
+    }
+    panic!("fleet did not reach a terminal state in 200 sessions");
+}
+
+fn manifest(dir: &Path, cfg: &FleetConfig, stats: &FleetStats) -> String {
+    let reports: Vec<ShardReport> = (0..SHARDS)
+        .map(|k| ShardReport {
+            shard: k,
+            state: shard_state(dir, k, &MockRunner.artifact_name(k), cfg.max_attempts),
+            attempts: read_attempts(dir, k),
+        })
+        .collect();
+    let mut reg = MetricsRegistry::new();
+    stats.record_into(&mut reg);
+    render_report(&reports, &reg)
+}
+
+fn artifact_bytes(dir: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("{name} in {dir:?}: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline invariant: whatever the injected failure pattern,
+    /// recovery converges and every merged-input artifact is
+    /// byte-identical to the fault-free run — and replaying the same
+    /// fault pattern reproduces the same failure manifest, byte for
+    /// byte.
+    #[test]
+    fn recovered_artifacts_are_byte_identical_to_fault_free(
+        seed in 0u64..1_000,
+        kill in 0u8..=60,
+        truncate in 0u8..=60,
+        corrupt in 0u8..=60,
+        stall in 0u8..=25,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            kill_pct: kill,
+            truncate_pct: truncate,
+            corrupt_pct: corrupt,
+            stall_pct: stall,
+            only: None,
+        };
+        let cfg = chaos_config(plan);
+
+        // fault-free reference
+        let clean = fresh_dir(&format!("clean-{seed}-{kill}-{truncate}-{corrupt}-{stall}"));
+        let clean_cfg = FleetConfig { chaos: None, ..cfg.clone() };
+        let (clean_stats, clean_outcome) = run_until_terminal(&clean, &clean_cfg);
+        let clean_ok = matches!(
+            &clean_outcome,
+            WorkerOutcome::Completed { failed, .. } if failed.is_empty()
+        );
+        prop_assert!(clean_ok);
+        prop_assert_eq!(clean_stats.retries, 0);
+
+        // two independent chaos runs of the same plan
+        let mut manifests = Vec::new();
+        for replay in 0..2 {
+            let dir = fresh_dir(&format!("chaos-{replay}-{seed}-{kill}-{truncate}-{corrupt}-{stall}"));
+            let (stats, outcome) = run_until_terminal(&dir, &cfg);
+            let chaos_ok = matches!(
+                &outcome,
+                WorkerOutcome::Completed { failed, .. } if failed.is_empty()
+            );
+            prop_assert!(chaos_ok, "replay {} did not complete cleanly", replay);
+            for k in 0..SHARDS {
+                prop_assert_eq!(
+                    artifact_bytes(&dir, &format!("shard-{k:03}.csv")),
+                    artifact_bytes(&clean, &format!("shard-{k:03}.csv")),
+                    "shard {} diverged from the fault-free run", k
+                );
+                prop_assert_eq!(
+                    artifact_bytes(&dir, &format!("metrics-{k:03}.jsonl")),
+                    artifact_bytes(&clean, &format!("metrics-{k:03}.jsonl")),
+                    "metrics {} diverged from the fault-free run", k
+                );
+            }
+            manifests.push(manifest(&dir, &cfg, &stats));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        prop_assert_eq!(
+            &manifests[0],
+            &manifests[1],
+            "failure manifest must be deterministic for a fixed fault pattern"
+        );
+        prop_assert!(manifests[0].contains("\"status\": \"ok\""));
+        let _ = std::fs::remove_dir_all(&clean);
+    }
+}
+
+/// A shard that fails every attempt exhausts its retries, is reported
+/// `failed` in a degraded manifest, and does not block the rest of the
+/// campaign.
+#[test]
+fn exhausted_shard_lands_in_failure_manifest() {
+    let plan = FaultPlan::parse("seed=1,kill=100,only=0").unwrap();
+    let cfg = FleetConfig {
+        max_attempts: 2,
+        ..chaos_config(plan)
+    };
+    let dir = fresh_dir("exhaust");
+    let (stats, outcome) = run_until_terminal(&dir, &cfg);
+    match &outcome {
+        WorkerOutcome::Completed { done, failed } => {
+            assert_eq!(failed, &vec![0]);
+            assert_eq!(done, &vec![1, 2]);
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    assert_eq!(shard_state(&dir, 0, "shard-000.csv", 2), ShardState::Failed);
+    assert_eq!(read_attempts(&dir, 0), 2);
+    assert!(stats.faults[0] >= 2, "both attempts must have been killed");
+    let m = manifest(&dir, &cfg, &stats);
+    assert!(m.contains("\"status\": \"degraded\""));
+    assert!(m.contains("\"failed\": [0]"));
+    assert!(m.contains("{\"shard\": 0, \"state\": \"failed\", \"attempts\": 2}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt artifacts are quarantined (evidence preserved) before the
+/// shard is re-run, and the re-run result is pristine.
+#[test]
+fn corruption_is_quarantined_then_rerun() {
+    let dir = fresh_dir("quarantine");
+    let cfg = FleetConfig {
+        lease: LeaseConfig {
+            timeout_ms: 60,
+            heartbeat_ms: 10,
+        },
+        poll_ms: 5,
+        ..FleetConfig::default()
+    };
+    // plant a corrupt artifact where shard 1's output belongs
+    std::fs::write(dir.join("shard-001.csv"), b"instance_index,hlf,sa\ngarbage").unwrap();
+    let (stats, outcome) = run_until_terminal(&dir, &cfg);
+    assert!(matches!(
+        &outcome,
+        WorkerOutcome::Completed { failed, .. } if failed.is_empty()
+    ));
+    assert_eq!(stats.checksum_failures, 1);
+    assert_eq!(stats.quarantines, 1);
+    assert!(dir.join("shard-001.csv.quarantined-1").exists());
+    // the re-run artifact matches the other shards' pristine pattern
+    let fresh = MockRunner.run(1).unwrap().remove(0).1;
+    assert_eq!(artifact_bytes(&dir, "shard-001.csv"), fresh.into_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two workers racing the same campaign in threads complete it with
+/// artifacts identical to a solo run — concurrent claimants never
+/// corrupt each other.
+#[test]
+fn concurrent_workers_converge_identically() {
+    let solo = fresh_dir("solo");
+    let cfg = FleetConfig {
+        lease: LeaseConfig {
+            timeout_ms: 200,
+            heartbeat_ms: 20,
+        },
+        poll_ms: 5,
+        ..FleetConfig::default()
+    };
+    let (_, outcome) = run_until_terminal(&solo, &cfg);
+    assert!(matches!(outcome, WorkerOutcome::Completed { .. }));
+
+    let duo = fresh_dir("duo");
+    let shards: Vec<usize> = (0..SHARDS).collect();
+    std::thread::scope(|s| {
+        for w in 0..2 {
+            let duo = &duo;
+            let cfg = &cfg;
+            let shards = &shards;
+            s.spawn(move || {
+                let mut stats = FleetStats::default();
+                let outcome = run_worker(
+                    duo,
+                    shards,
+                    &format!("racer-{w}"),
+                    cfg,
+                    &MockRunner,
+                    &mut stats,
+                    &mut |_| {},
+                )
+                .unwrap();
+                assert!(matches!(outcome, WorkerOutcome::Completed { .. }));
+            });
+        }
+    });
+    for k in 0..SHARDS {
+        assert_eq!(
+            artifact_bytes(&duo, &format!("shard-{k:03}.csv")),
+            artifact_bytes(&solo, &format!("shard-{k:03}.csv"))
+        );
+    }
+    let _ = std::fs::remove_dir_all(&solo);
+    let _ = std::fs::remove_dir_all(&duo);
+}

@@ -80,7 +80,9 @@ impl Config {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
-            clock_sanctioned_crates: vec!["obs".to_string()],
+            // `fleet` is sanctioned for lease heartbeats/expiry only:
+            // wall time never reaches a science artifact there.
+            clock_sanctioned_crates: vec!["obs".to_string(), "fleet".to_string()],
             oracle_targets: vec![
                 "crates/sim/src/fastpath.rs".into(),
                 "crates/sim/src/eval.rs".into(),

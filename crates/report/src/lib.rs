@@ -40,8 +40,13 @@ pub mod winloss;
 pub use chart::{Chart, Series};
 pub use csv::Csv;
 pub use gantt::render_gantt;
-pub use merge::{merge_shard_csvs, render_matrix_csv, MergeError, MergedCampaign, MergedRow};
-pub use obs_summary::{render_metrics_summary, render_time_share_svg, CellSample};
+pub use merge::{
+    merge_shard_csvs, render_matrix_csv, scan_sealed_shards, MergeError, MergedCampaign, MergedRow,
+    ShardScan,
+};
+pub use obs_summary::{
+    render_fleet_summary, render_metrics_summary, render_time_share_svg, CellSample,
+};
 pub use svg::render_svg;
 pub use table::Table;
 pub use winloss::{render_win_loss_matrix, WinLossOptions};

@@ -23,6 +23,8 @@
 //!   indices and ragged rows are hard errors, not silent corruption.
 
 use std::fmt;
+use std::io;
+use std::path::Path;
 
 use crate::csv::{f, Csv};
 
@@ -164,6 +166,56 @@ pub fn merge_shard_csvs<S: AsRef<str>>(shards: &[S]) -> Result<MergedCampaign, M
         return Err(MergeError::DuplicateIndex(w[0].index));
     }
     Ok(MergedCampaign { schedulers, rows })
+}
+
+/// Outcome of validating a campaign directory's sealed shard
+/// artifacts before a merge (see [`scan_sealed_shards`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardScan {
+    /// `(shard, unsealed CSV text)` for every artifact whose checksum
+    /// validated, ascending by shard.
+    pub valid: Vec<(usize, String)>,
+    /// `(shard, quarantine path, reason)` for artifacts that existed
+    /// but failed validation and were moved aside — these shards need
+    /// a re-run, and merging must not proceed as if they were absent
+    /// by accident.
+    pub quarantined: Vec<(usize, String, String)>,
+    /// Shards with no artifact at all (never run, or quarantined on a
+    /// previous pass and not yet re-run).
+    pub missing: Vec<usize>,
+}
+
+impl ShardScan {
+    /// Whether every shard produced a validated artifact.
+    pub fn complete(&self) -> bool {
+        self.quarantined.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Scans `dir` for the sealed shard artifacts `file_name(0..shards)`,
+/// validating each checksum footer. Corrupt or truncated artifacts are
+/// quarantined (`anneal_fleet::quarantine`) so a later pass re-runs
+/// them — garbage is never merged and never silently dropped. Only
+/// filesystem-level failures (not validation failures) are `Err`.
+pub fn scan_sealed_shards(
+    dir: &Path,
+    shards: usize,
+    file_name: impl Fn(usize) -> String,
+) -> io::Result<ShardScan> {
+    let mut scan = ShardScan::default();
+    for k in 0..shards {
+        let path = dir.join(file_name(k));
+        match anneal_fleet::read_sealed(&path) {
+            Ok(text) => scan.valid.push((k, text)),
+            Err(anneal_fleet::ArtifactError::Missing { .. }) => scan.missing.push(k),
+            Err(reason) => {
+                let qpath = anneal_fleet::quarantine(&path)?;
+                scan.quarantined
+                    .push((k, qpath.display().to_string(), reason.to_string()));
+            }
+        }
+    }
+    Ok(scan)
 }
 
 /// Renders the shared shard/matrix CSV layout: header
@@ -332,6 +384,37 @@ mod tests {
             merge_shard_csvs(&["instance_index,instance,hlf\n0,i0,notanum\n"]).unwrap_err(),
             MergeError::Parse { line: 2, .. }
         ));
+    }
+
+    #[test]
+    fn scan_validates_quarantines_and_reports_missing() {
+        let dir = std::env::temp_dir().join(format!("report-scan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let name = |k: usize| format!("shard-{k:03}.csv");
+        // shard 0: valid sealed artifact; shard 1: corrupt; shard 2: absent
+        std::fs::write(dir.join(name(0)), anneal_fleet::seal(SHARD_A)).unwrap();
+        std::fs::write(dir.join(name(1)), &anneal_fleet::seal(SHARD_B)[..20]).unwrap();
+        let scan = scan_sealed_shards(&dir, 3, name).unwrap();
+        assert!(!scan.complete());
+        assert_eq!(scan.valid, vec![(0, SHARD_A.to_string())]);
+        assert_eq!(scan.missing, vec![2]);
+        assert_eq!(scan.quarantined.len(), 1);
+        assert_eq!(scan.quarantined[0].0, 1);
+        assert!(scan.quarantined[0]
+            .1
+            .ends_with("shard-001.csv.quarantined-1"));
+        assert!(
+            !dir.join(name(1)).exists(),
+            "corrupt artifact must move aside"
+        );
+        // after the re-run lands a valid artifact, the scan completes
+        std::fs::write(dir.join(name(1)), anneal_fleet::seal(SHARD_B)).unwrap();
+        std::fs::write(dir.join(name(2)), anneal_fleet::seal(SHARD_A)).unwrap();
+        let scan = scan_sealed_shards(&dir, 3, name).unwrap();
+        assert!(scan.complete());
+        assert_eq!(scan.valid.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

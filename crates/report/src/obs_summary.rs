@@ -110,6 +110,44 @@ pub fn render_metrics_summary(cells: &[CellSample], top: usize) -> String {
     out
 }
 
+/// One-line fleet activity summary from the `sched.fleet.*` counters,
+/// appended to the campaign metrics summary. `None` when the registry
+/// carries no fleet counters — fault-free solo runs stay noise-free.
+/// Deterministic for a fixed registry (fixed field order, zero fields
+/// elided).
+pub fn render_fleet_summary(reg: &anneal_obs::MetricsRegistry) -> Option<String> {
+    if !reg.iter().any(|(k, _)| k.starts_with("sched.fleet.")) {
+        return None;
+    }
+    let c = |key: &str| reg.counter(&format!("sched.fleet.{key}"));
+    let mut parts = vec![format!(
+        "{} leases ({} stolen, {} lost)",
+        c("leases_acquired") + c("leases_stolen"),
+        c("leases_stolen"),
+        c("leases_lost")
+    )];
+    parts.push(format!("{} shards run", c("shards_run")));
+    for (key, label) in [
+        ("retries", "retries"),
+        ("run_failures", "run failures"),
+        ("checksum_failures", "checksum failures"),
+        ("quarantines", "quarantined"),
+    ] {
+        let v = c(key);
+        if v > 0 {
+            parts.push(format!("{v} {label}"));
+        }
+    }
+    let faults: u64 = ["kill", "truncate", "corrupt", "stall"]
+        .iter()
+        .map(|k| c(&format!("faults_{k}")))
+        .sum();
+    if faults > 0 {
+        parts.push(format!("{faults} faults injected"));
+    }
+    Some(format!("Fleet: {}\n", parts.join(", ")))
+}
+
 /// A horizontal bar chart of per-scheduler time share, one bar per
 /// scheduler, heaviest first.
 pub fn render_time_share_svg(cells: &[CellSample]) -> String {
@@ -210,5 +248,27 @@ mod tests {
         );
         assert!(svg.contains("8.00 ms (80.0%)"));
         assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn fleet_summary_line() {
+        use anneal_obs::Recorder as _;
+        let mut reg = anneal_obs::MetricsRegistry::new();
+        assert_eq!(render_fleet_summary(&reg), None, "no counters, no noise");
+        reg.add("sim.events", 5);
+        assert_eq!(render_fleet_summary(&reg), None, "non-fleet keys ignored");
+        reg.add("sched.fleet.leases_acquired", 3);
+        reg.add("sched.fleet.leases_stolen", 1);
+        reg.add("sched.fleet.shards_run", 4);
+        reg.add("sched.fleet.retries", 2);
+        reg.add("sched.fleet.faults_kill", 1);
+        reg.add("sched.fleet.faults_truncate", 1);
+        let line = render_fleet_summary(&reg).unwrap();
+        assert_eq!(
+            line,
+            "Fleet: 4 leases (1 stolen, 0 lost), 4 shards run, 2 retries, 2 faults injected\n"
+        );
+        // deterministic
+        assert_eq!(render_fleet_summary(&reg).unwrap(), line);
     }
 }
